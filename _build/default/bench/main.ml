@@ -1,0 +1,122 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation and runs Bechamel micro-benchmarks over the
+   simulator's hot paths.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig9    # one experiment
+     dune exec bench/main.exe -- micro   # just the micro-benchmarks
+
+   Every experiment prints its measured rows next to a "paper:" note
+   stating what the original reports, so the shape comparison is one
+   glance. EXPERIMENTS.md records a snapshot of both. *)
+
+open Vessel_experiments
+
+let seed = 42
+
+(* ------------------------------------------------------------------ *)
+(* Figure/table regeneration *)
+
+let experiments : (string * (unit -> unit)) list =
+  [
+    ("table1", fun () -> Exp_table1.print (Exp_table1.run ~seed ()));
+    ("fig1", fun () -> Exp_fig1.print (Exp_fig1.run ~seed ()));
+    ("fig2", fun () -> Exp_fig2.print (Exp_fig2.run ~seed ()));
+    ("fig3", fun () -> Exp_fig3.print (Exp_fig3.run ~seed ()));
+    ( "fig9",
+      fun () ->
+        Exp_fig9.print ~l_app:Runner.Memcached
+          (Exp_fig9.run ~seed ~l_app:Runner.Memcached ());
+        Exp_fig9.print ~l_app:Runner.Silo
+          (Exp_fig9.run ~seed ~l_app:Runner.Silo ()) );
+    ("fig10", fun () -> Exp_fig10.print (Exp_fig10.run ~seed ()));
+    ("fig11", fun () -> Exp_fig11.print (Exp_fig11.run ~seed ()));
+    ("fig12", fun () -> Exp_fig12.print (Exp_fig12.run ~seed ()));
+    ( "fig13",
+      fun () ->
+        Exp_fig13.print_colocation (Exp_fig13.run_colocation ~seed ());
+        Exp_fig13.print_accuracy (Exp_fig13.run_accuracy ~seed ()) );
+    ( "ablation",
+      fun () ->
+        Exp_ablation.print_switch_cost (Exp_ablation.run_switch_cost ~seed ());
+        Exp_ablation.print_policy (Exp_ablation.run_policy ~seed ()) );
+    ("burst", fun () -> Exp_burst.print (Exp_burst.run ~seed ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the simulator's hot paths *)
+
+let module_tests () =
+  let open Bechamel in
+  let rng = Vessel_engine.Rng.create ~seed:1 in
+  let dist = Vessel_engine.Dist.exponential ~mean:1000. in
+  let hist = Vessel_stats.Histogram.create () in
+  let cache = Vessel_hw.Cache.create () in
+  let pkey = Vessel_hw.Pkey.of_int 3 in
+  let eq = Vessel_engine.Event_queue.create () in
+  let counter = ref 0 in
+  [
+    Test.make ~name:"rng.bits"
+      (Staged.stage (fun () -> ignore (Vessel_engine.Rng.bits rng)));
+    Test.make ~name:"dist.sample(exp)"
+      (Staged.stage (fun () -> ignore (Vessel_engine.Dist.sample dist rng)));
+    Test.make ~name:"histogram.record"
+      (Staged.stage (fun () ->
+           incr counter;
+           Vessel_stats.Histogram.record hist (1 + (!counter land 0xFFFF))));
+    Test.make ~name:"cache.access"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Vessel_hw.Cache.access cache ((!counter * 64) land 0x3FFFFF))));
+    Test.make ~name:"pkru.set+perm"
+      (Staged.stage (fun () ->
+           let p = Vessel_hw.Pkru.set Vessel_hw.Pkru.all_denied pkey Vessel_hw.Pkru.Read_write in
+           ignore (Vessel_hw.Pkru.perm p pkey)));
+    Test.make ~name:"event_queue.add+pop"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Vessel_engine.Event_queue.add eq ~time:!counter ());
+           ignore (Vessel_engine.Event_queue.pop eq)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Report.section "Micro-benchmarks (simulator hot paths, ns/op)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let tests = module_tests () in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"micro" ~fmt:"%s/%s" tests)
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> Printf.printf "%-28s %10.1f ns/op\n" name est
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let wanted =
+    match Array.to_list Sys.argv with _ :: rest when rest <> [] -> rest | _ -> []
+  in
+  let run_all = wanted = [] in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      if run_all || List.mem name wanted then begin
+        let t = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+      end)
+    experiments;
+  if run_all || List.mem "micro" wanted then run_micro ();
+  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)

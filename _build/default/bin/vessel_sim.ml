@@ -1,0 +1,101 @@
+(* vessel-sim: run any of the paper's experiments from the command line.
+
+   Each subcommand regenerates one table or figure of "Fast Core
+   Scheduling with Userspace Process Abstraction" (SOSP '24) and prints
+   the measured rows next to a note of what the paper reports. *)
+
+open Cmdliner
+open Vessel_experiments
+
+let seed =
+  let doc = "Root RNG seed; every run is deterministic given the seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let cores =
+  let doc = "Worker cores for the colocation experiments." in
+  Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc)
+
+let l_app =
+  let doc = "Latency-critical app for fig9: memcached or silo." in
+  let app_conv =
+    Arg.enum [ ("memcached", Runner.Memcached); ("silo", Runner.Silo) ]
+  in
+  Arg.(value & opt app_conv Runner.Memcached & info [ "l-app" ] ~docv:"APP" ~doc)
+
+let run_table1 seed =
+  Exp_table1.print (Exp_table1.run ~seed ())
+
+let run_fig1 seed cores = Exp_fig1.print (Exp_fig1.run ~seed ~cores ())
+let run_fig2 seed = Exp_fig2.print (Exp_fig2.run ~seed ())
+let run_fig3 seed = Exp_fig3.print (Exp_fig3.run ~seed ())
+
+let run_fig9 seed cores l_app =
+  Exp_fig9.print ~l_app (Exp_fig9.run ~seed ~cores ~l_app ())
+
+let run_fig10 seed = Exp_fig10.print (Exp_fig10.run ~seed ())
+let run_fig11 seed = Exp_fig11.print (Exp_fig11.run ~seed ())
+let run_fig12 seed = Exp_fig12.print (Exp_fig12.run ~seed ())
+
+let run_fig13a seed cores =
+  Exp_fig13.print_colocation (Exp_fig13.run_colocation ~seed ~cores ())
+
+let run_fig13b seed = Exp_fig13.print_accuracy (Exp_fig13.run_accuracy ~seed ())
+
+let run_ablation seed cores =
+  Exp_ablation.print_switch_cost (Exp_ablation.run_switch_cost ~seed ~cores ());
+  Exp_ablation.print_policy (Exp_ablation.run_policy ~seed ~cores ())
+
+let run_all seed cores =
+  run_table1 seed;
+  run_fig1 seed cores;
+  run_fig2 seed;
+  run_fig3 seed;
+  run_fig9 seed cores Runner.Memcached;
+  run_fig9 seed cores Runner.Silo;
+  run_fig10 seed;
+  run_fig11 seed;
+  run_fig12 seed;
+  run_fig13a seed cores;
+  run_fig13b seed;
+  run_ablation seed cores
+
+let cmd name doc term =
+  Cmd.v (Cmd.info name ~doc) term
+
+let cmds =
+  [
+    cmd "table1" "Table 1: context-switch latency"
+      Term.(const run_table1 $ seed);
+    cmd "fig1" "Figure 1: cost of colocation under Caladan"
+      Term.(const run_fig1 $ seed $ cores);
+    cmd "fig2" "Figure 2: dense colocation kernel cycles"
+      Term.(const run_fig2 $ seed);
+    cmd "fig3" "Figure 3: Caladan core-reallocation timeline"
+      Term.(const run_fig3 $ seed);
+    cmd "fig9" "Figure 9: L-app + B-app across all systems"
+      Term.(const run_fig9 $ seed $ cores $ l_app);
+    cmd "fig10" "Figure 10: dense colocation, 1 vs 10 instances"
+      Term.(const run_fig10 $ seed);
+    cmd "fig11" "Figure 11: cache friendliness"
+      Term.(const run_fig11 $ seed);
+    cmd "fig12" "Figure 12: goodput vs core count"
+      Term.(const run_fig12 $ seed);
+    cmd "fig13a" "Figure 13a: bandwidth-aware colocation"
+      Term.(const run_fig13a $ seed $ cores);
+    cmd "fig13b" "Figure 13b: bandwidth-regulation accuracy"
+      Term.(const run_fig13b $ seed);
+    cmd "ablation" "Ablations: switch-cost sweep, mechanism vs policy"
+      Term.(const run_ablation $ seed $ cores);
+    cmd "burst" "Burst absorption under us-scale load spikes"
+      Term.(const (fun seed cores -> Exp_burst.print (Exp_burst.run ~seed ~cores ())) $ seed $ cores);
+    cmd "all" "Every table and figure" Term.(const run_all $ seed $ cores);
+  ]
+
+let () =
+  let info =
+    Cmd.info "vessel-sim" ~version:"1.0.0"
+      ~doc:
+        "Reproduce the evaluation of 'Fast Core Scheduling with Userspace \
+         Process Abstraction' (SOSP '24)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Bytes Printf Vessel_engine Vessel_hw Vessel_mem Vessel_uprocess

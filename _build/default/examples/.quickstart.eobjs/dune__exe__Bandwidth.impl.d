@@ -1,0 +1,1 @@
+examples/bandwidth.ml: Exp_fig13 List Printf Vessel_experiments Vessel_stats

@@ -1,0 +1,1 @@
+examples/colocate.ml: List Printf Report Runner Vessel_experiments Vessel_stats

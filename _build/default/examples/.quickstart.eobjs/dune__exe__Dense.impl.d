@@ -1,0 +1,1 @@
+examples/dense.ml: Exp_fig2 List Report Runner Vessel_experiments Vessel_stats

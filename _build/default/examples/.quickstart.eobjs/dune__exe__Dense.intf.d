@@ -1,0 +1,1 @@
+examples/dense.mli:

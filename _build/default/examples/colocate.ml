@@ -1,0 +1,54 @@
+(* Colocation scenario (the Figure 9 shape): memcached + Linpack on the
+   same cores, under VESSEL and under Caladan, at three load levels.
+   Watch the normalized total throughput and the L-app tail diverge.
+
+     dune exec examples/colocate.exe
+*)
+
+open Vessel_experiments
+
+let () =
+  print_endline
+    "Colocating memcached (latency-critical) with Linpack (best-effort)";
+  print_endline
+    "on 4 cores, under VESSEL and Caladan, at 30/60/90% of capacity.\n";
+  let t =
+    Vessel_stats.Table.create
+      ~columns:
+        [ "system"; "load"; "achieved"; "p999"; "norm total"; "B-app share" ]
+  in
+  List.iter
+    (fun sched ->
+      let l_max =
+        Runner.l_alone_capacity ~cores:4 ~sched ~l_app:Runner.Memcached ()
+      in
+      let b_max = Runner.b_alone_capacity ~cores:4 ~sched () in
+      List.iter
+        (fun f ->
+          let m =
+            Runner.run_colocation ~cores:4 ~sched ~l_app:Runner.Memcached
+              ~rate_rps:(f *. l_max) ()
+          in
+          Vessel_stats.Table.add_row t
+            [
+              Runner.sched_name sched;
+              Printf.sprintf "%.0f%%" (100. *. f);
+              Report.mops m.Runner.achieved_rps;
+              Report.us m.Runner.p999_us;
+              Report.f2
+                (Runner.normalized_total ~m ~l_max_rps:l_max
+                   ~b_max_ns_per_ns:b_max);
+              Report.f2
+                (float_of_int m.Runner.b_completed_ns
+                /. float_of_int m.Runner.window_ns /. b_max);
+            ])
+        [ 0.3; 0.6; 0.9 ])
+    [ Runner.Vessel; Runner.Caladan ];
+  Vessel_stats.Table.print t;
+  print_endline
+    "\nVESSEL keeps the total near 1.0 and the p999 flat: parking and\n\
+     preempting a uProcess costs ~161ns, so unused L-app cycles flow to\n\
+     the B-app and flow back the moment a request bursts in.";
+  print_endline
+    "Caladan pays a kernel path per reallocation (2.1-5.3us), so it both\n\
+     wastes cycles and reacts later."

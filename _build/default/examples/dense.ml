@@ -1,0 +1,43 @@
+(* Dense colocation (the Figure 10 shape): ten memcached instances share
+   one core. Under uProcess, switching between applications costs the
+   same as switching between threads of one application, so density is
+   almost free; under Caladan every inter-app switch crosses the kernel.
+
+     dune exec examples/dense.exe
+*)
+
+open Vessel_experiments
+
+let () =
+  print_endline "Ten memcached instances on one core, 70% aggregate load:\n";
+  let cap =
+    Runner.l_alone_capacity ~cores:1 ~sched:Runner.Vessel
+      ~l_app:Runner.Memcached ()
+  in
+  let t =
+    Vessel_stats.Table.create
+      ~columns:[ "system"; "instances"; "agg tput"; "p999"; "kernel cores" ]
+  in
+  List.iter
+    (fun sched ->
+      List.iter
+        (fun k ->
+          let agg, p999, _app, _rt, kern =
+            Exp_fig2.dense_run ~seed:7 ~sched ~instances:k
+              ~total_rps:(0.7 *. cap) ~warmup:10_000_000 ~duration:50_000_000
+          in
+          Vessel_stats.Table.add_row t
+            [
+              Runner.sched_name sched;
+              string_of_int k;
+              Report.mops agg;
+              Report.us p999;
+              Report.f2 kern;
+            ])
+        [ 1; 10 ])
+    [ Runner.Vessel; Runner.Caladan_dr_l ];
+  Vessel_stats.Table.print t;
+  print_endline
+    "\nOne scheduling domain hosts up to 13 uProcesses (16 protection keys\n\
+     minus the runtime, the message pipe and key 0), so ten applications\n\
+     fit in one SMAS and rotate with ~161ns switches."

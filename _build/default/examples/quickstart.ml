@@ -1,0 +1,56 @@
+(* Quickstart: build a machine, a VESSEL scheduling domain and two
+   uProcesses; run a tiny open-loop server next to a best-effort burner;
+   print what happened.
+
+     dune exec examples/quickstart.exe
+*)
+
+module Sim = Vessel_engine.Sim
+module Time = Vessel_engine.Time
+module Hw = Vessel_hw
+module S = Vessel_sched
+module W = Vessel_workloads
+module Stats = Vessel_stats
+
+let () =
+  (* 1. A simulated 4-core machine and the VESSEL scheduler on top. *)
+  let sim = Sim.create ~seed:1 () in
+  let machine = Hw.Machine.create ~cores:4 sim in
+  let vessel = S.Vessel.make ~machine () in
+  let sys = S.Vessel.system vessel in
+
+  (* 2. A latency-critical memcached (four workers, 1us services) and a
+     best-effort Linpack. Each becomes a uProcess in the shared SMAS. *)
+  let mc = W.Memcached.make ~sim ~sys ~app_id:1 ~workers:4 () in
+  let lp = W.Linpack.make ~sys ~app_id:2 ~workers:4 () in
+
+  (* 3. Drive 1M requests/s for 50 simulated milliseconds. *)
+  sys.S.Sched_intf.start ();
+  W.Openloop.start mc ~rate_rps:1_000_000. ~until:(Time.ms 50.);
+  Sim.run_until sim (Time.ms 50.);
+  sys.S.Sched_intf.stop ();
+
+  (* 4. What happened? *)
+  let h = W.Openloop.latencies mc in
+  Printf.printf "memcached: served %d requests (%.2f Mops)\n"
+    (W.Openloop.served mc)
+    (W.Openloop.throughput_rps mc ~now:(Time.ms 50.) /. 1e6);
+  Printf.printf "  p50 %.1fus  p99 %.1fus  p999 %.1fus\n"
+    (float_of_int (Stats.Histogram.percentile h 50.) /. 1e3)
+    (float_of_int (Stats.Histogram.percentile h 99.) /. 1e3)
+    (float_of_int (Stats.Histogram.percentile h 99.9) /. 1e3);
+  Printf.printf "linpack:   completed %.1f core-ms of compute\n"
+    (float_of_int (W.Linpack.completed_ns lp) /. 1e6);
+  let acct = Hw.Machine.total_account machine in
+  Printf.printf "cores'-worth: app %.2f, runtime %.2f, kernel %.2f\n"
+    (Stats.Cycle_account.cores_worth acct
+       (Stats.Cycle_account.App 1) ~wall:(Time.ms 50.)
+    +. Stats.Cycle_account.cores_worth acct
+         (Stats.Cycle_account.App 2) ~wall:(Time.ms 50.))
+    (Stats.Cycle_account.cores_worth acct Stats.Cycle_account.Runtime
+       ~wall:(Time.ms 50.))
+    (Stats.Cycle_account.cores_worth acct Stats.Cycle_account.Kernel
+       ~wall:(Time.ms 50.));
+  Printf.printf "uProcess context switches observed: %d (mean %.0fns)\n"
+    (Stats.Histogram.count (S.Vessel.runtime vessel |> Vessel_uprocess.Runtime.switch_latencies))
+    (Stats.Histogram.mean (S.Vessel.runtime vessel |> Vessel_uprocess.Runtime.switch_latencies))

@@ -1,0 +1,57 @@
+(* The paper's Figure 7, live: core-occupancy timelines of the same
+   colocation under VESSEL and under Caladan. Watch VESSEL fill every gap
+   with best-effort work and take the core back on each request, while
+   Caladan's kernel-mediated reallocations leave stripes of switch
+   overhead and idle.
+
+     dune exec examples/timeline.exe
+*)
+
+module Sim = Vessel_engine.Sim
+module Hw = Vessel_hw
+module U = Vessel_uprocess
+module S = Vessel_sched
+module W = Vessel_workloads
+module Stats = Vessel_stats
+
+let window_from = 1_000_000
+let window_till = 1_200_000
+
+let run name mk =
+  let sim = Sim.create ~seed:4 () in
+  let machine = Hw.Machine.create ~cores:2 sim in
+  let sys, exec = mk machine in
+  let tl = Stats.Timeline.create ~cores:2 in
+  let running : (int, string * int) Hashtbl.t = Hashtbl.create 4 in
+  U.Exec.set_observer exec (function
+    | U.Exec.Run { core; thread; at } ->
+        Hashtbl.replace running core (U.Uthread.name thread, at)
+    | U.Exec.Deschedule { core; thread; at } -> (
+        match Hashtbl.find_opt running core with
+        | Some (label, from) when label = U.Uthread.name thread ->
+            Hashtbl.remove running core;
+            Stats.Timeline.record tl ~core ~from ~till:at ~label
+        | _ -> ()));
+  let gen = W.Memcached.make ~sim ~sys ~app_id:1 ~workers:2 () in
+  let _lp = W.Linpack.make ~sys ~app_id:2 ~workers:2 () in
+  sys.S.Sched_intf.start ();
+  W.Openloop.start gen ~rate_rps:1_200_000. ~until:window_till;
+  Sim.run_until sim window_till;
+  sys.S.Sched_intf.stop ();
+  Printf.printf "\n%s (m = memcached worker, l = linpack, s = steal loop):\n%s"
+    name
+    (Stats.Timeline.render tl ~from:window_from ~till:window_till ~width:100 ())
+
+let () =
+  print_endline
+    "Two cores, memcached at 1.2 Mops + Linpack, a 200us window (Figure 7):";
+  run "VESSEL" (fun machine ->
+      let v = S.Vessel.make ~machine () in
+      (S.Vessel.system v, U.Runtime.exec (S.Vessel.runtime v)));
+  run "Caladan" (fun machine ->
+      let b = S.Baseline.make S.Baseline.caladan ~machine in
+      (S.Baseline.system b, S.Baseline.exec b));
+  print_endline
+    "\nVESSEL's rows alternate m/l back to back (161ns seams, invisible at\n\
+     this resolution); Caladan's rows show dots — kernel reallocation time\n\
+     and steal-loop spinning — between every handoff."

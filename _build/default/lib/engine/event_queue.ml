@@ -1,0 +1,104 @@
+type handle = { mutable cancelled : bool; live : int ref }
+
+type 'a entry = {
+  time : Time.t;
+  seq : int;
+  value : 'a;
+  h : handle;
+}
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* heap.(0 .. size-1) is a binary min-heap on (time, seq). *)
+  mutable size : int;
+  mutable next_seq : int;
+  live : int ref;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live = ref 0 }
+
+let is_empty t = !(t.live) = 0
+let length t = !(t.live)
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nheap = Array.make ncap entry in
+    Array.blit t.heap 0 nheap 0 t.size;
+    t.heap <- nheap
+  end
+
+let add t ~time value =
+  let h = { cancelled = false; live = t.live } in
+  let entry = { time; seq = t.next_seq; value; h } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  incr t.live;
+  sift_up t (t.size - 1);
+  h
+
+let cancel h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    decr h.live
+  end
+
+let remove_root t =
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end
+
+(* Lazy deletion: cancelled entries stay in the heap until they reach the
+   root, where they are discarded before peek/pop observe them. *)
+let rec drain_cancelled t =
+  if t.size > 0 && t.heap.(0).h.cancelled then begin
+    remove_root t;
+    drain_cancelled t
+  end
+
+let peek_time t =
+  drain_cancelled t;
+  if t.size = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  drain_cancelled t;
+  if t.size = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    (* Mark consumed so a later [cancel] on this handle is a no-op. *)
+    e.h.cancelled <- true;
+    remove_root t;
+    decr t.live;
+    Some (e.time, e.value)
+  end

@@ -1,0 +1,30 @@
+(** A priority queue of timestamped events.
+
+    Binary min-heap keyed on (time, sequence number): events at the same
+    simulated time pop in insertion order, which keeps the whole simulation
+    deterministic. Events can be cancelled in O(1) (lazy deletion). *)
+
+type 'a t
+
+type handle
+(** A token for a scheduled event, usable to cancel it. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val add : 'a t -> time:Time.t -> 'a -> handle
+(** Schedule an event at an absolute time. *)
+
+val cancel : handle -> unit
+(** Cancel a previously scheduled event. Cancelling twice, or cancelling an
+    already-popped event, is a no-op. *)
+
+val peek_time : 'a t -> Time.t option
+(** Time of the earliest live event. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live event. *)

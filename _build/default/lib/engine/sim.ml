@@ -1,0 +1,50 @@
+type t = {
+  mutable clock : Time.t;
+  queue : (t -> unit) Event_queue.t;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { clock = Time.zero; queue = Event_queue.create (); root_rng = Rng.create ~seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule: time %d is before now (%d)" at t.clock);
+  Event_queue.add t.queue ~time:at f
+
+let schedule_after t ~delay f =
+  if delay < 0 then invalid_arg "Sim.schedule_after: negative delay";
+  schedule t ~at:(t.clock + delay) f
+
+let cancel = Event_queue.cancel
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f t;
+      true
+
+let run_until t horizon =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon ->
+        (match Event_queue.pop t.queue with
+        | Some (time, f) ->
+            t.clock <- time;
+            f t
+        | None -> ());
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  if horizon > t.clock then t.clock <- horizon
+
+let run_for t d = run_until t (t.clock + d)
+
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,42 @@
+(** The discrete-event simulation driver.
+
+    A simulation owns a clock and an event queue of thunks. Components
+    schedule callbacks at absolute or relative times; [run_until] executes
+    them in timestamp order (ties in insertion order), advancing the clock
+    to each event's time before firing it. All model state lives in the
+    components; the driver knows nothing about cores or schedulers. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** A fresh simulation at time 0. [seed] (default 42) seeds the root RNG
+    from which all component streams are split. *)
+
+val now : t -> Time.t
+
+val rng : t -> Rng.t
+(** The root RNG. Components should [Rng.split] this at setup time rather
+    than drawing from it during the run. *)
+
+val schedule : t -> at:Time.t -> (t -> unit) -> Event_queue.handle
+(** Run a callback at absolute time [at]. Scheduling in the past raises
+    [Invalid_argument]. *)
+
+val schedule_after : t -> delay:Time.t -> (t -> unit) -> Event_queue.handle
+(** Run a callback [delay] ns from now. *)
+
+val cancel : Event_queue.handle -> unit
+
+val run_until : t -> Time.t -> unit
+(** Execute events in order until the queue is empty or the next event is
+    strictly after the horizon, then set the clock to the horizon. *)
+
+val run_for : t -> Time.t -> unit
+(** [run_until] relative to the current time. *)
+
+val step : t -> bool
+(** Execute the single earliest event. Returns [false] when the queue is
+    empty. Useful in unit tests. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events. *)

@@ -1,0 +1,46 @@
+type record = { at : Time.t; tag : string; detail : string }
+
+type t = {
+  buf : record option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0; count = 0 }
+
+let record t ~at ~tag detail =
+  let cap = Array.length t.buf in
+  t.buf.(t.next) <- Some { at; tag; detail };
+  t.next <- (t.next + 1) mod cap;
+  if t.count < cap then t.count <- t.count + 1
+
+let recordf t ~at ~tag fmt =
+  Format.kasprintf (fun s -> record t ~at ~tag s) fmt
+
+let to_list t =
+  let cap = Array.length t.buf in
+  let start = if t.count < cap then 0 else t.next in
+  let rec go i acc =
+    if i >= t.count then List.rev acc
+    else
+      match t.buf.((start + i) mod cap) with
+      | None -> go (i + 1) acc
+      | Some r -> go (i + 1) (r :: acc)
+  in
+  go 0 []
+
+let find_all t ~tag = List.filter (fun r -> r.tag = tag) (to_list t)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.count <- 0
+
+let length t = t.count
+
+let pp fmt t =
+  List.iter
+    (fun r -> Format.fprintf fmt "[%a] %-24s %s@." Time.pp r.at r.tag r.detail)
+    (to_list t)

@@ -1,0 +1,28 @@
+(** A bounded in-memory trace of simulation events.
+
+    Used by the Fig-3 experiment to record the stage-by-stage timeline of a
+    core reallocation, and by tests to assert ordering properties. The ring
+    keeps the most recent [capacity] records. *)
+
+type record = { at : Time.t; tag : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 records. *)
+
+val record : t -> at:Time.t -> tag:string -> string -> unit
+
+val recordf :
+  t -> at:Time.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val to_list : t -> record list
+(** Oldest first. *)
+
+val find_all : t -> tag:string -> record list
+
+val clear : t -> unit
+
+val length : t -> int
+
+val pp : Format.formatter -> t -> unit

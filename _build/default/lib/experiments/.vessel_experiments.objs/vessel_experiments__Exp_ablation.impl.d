@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: List Printf Report Runner Vessel_engine Vessel_hw Vessel_sched Vessel_stats Vessel_workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Exp_fig2 List Printf Report Runner Vessel_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig12.ml: Float List Report Runner Vessel_engine Vessel_sched Vessel_stats Vessel_workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig13.ml: Float List Printf Report Runner Vessel_engine Vessel_hw Vessel_sched Vessel_stats Vessel_uprocess Vessel_workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig2.ml: List Printf Report Runner Vessel_engine Vessel_hw Vessel_sched Vessel_stats Vessel_workloads

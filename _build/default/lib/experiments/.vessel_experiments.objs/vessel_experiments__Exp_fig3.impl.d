@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: List Option Printf Report Runner Vessel_engine Vessel_sched Vessel_stats Vessel_uprocess

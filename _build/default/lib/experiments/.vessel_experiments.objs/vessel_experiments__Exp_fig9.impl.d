@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: List Printf Report Runner Vessel_stats

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Float Fun Vessel_engine Vessel_hw Vessel_sched Vessel_stats Vessel_workloads

@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Vessel_engine Vessel_hw Vessel_sched

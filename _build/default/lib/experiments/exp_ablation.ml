@@ -1,0 +1,172 @@
+module Hw = Vessel_hw
+module S = Vessel_sched
+module W = Vessel_workloads
+module Sim = Vessel_engine.Sim
+module Cost_model = Hw.Cost_model
+
+type switch_cost_row = {
+  wrpkru_cycles : int;
+  park_switch_ns : int;
+  p999_us : float;
+  normalized_total : float;
+}
+
+type policy_row = {
+  label : string;
+  p999_us : float;
+  normalized_total : float;
+  b_normalized : float;
+}
+
+(* One memcached+Linpack colocation at 70% load under a custom-built
+   VESSEL; returns (p999, norm total, b_norm). *)
+let measure ~seed ~cores ?cost ?vessel_params () =
+  let mk ?cost ?vessel_params () =
+    Runner.build ~seed ?cost ?vessel_params ~cores Runner.Vessel
+  in
+  (* Capacity under the same cost model, run alone. *)
+  let cap =
+    let b = mk ?cost ()
+    and rate = 1.3 *. (float_of_int cores /. W.Memcached.mean_service_ns *. 1e9) in
+    let gen = W.Memcached.make ~sim:b.Runner.sim ~sys:b.Runner.sys ~app_id:1 ~workers:cores () in
+    b.Runner.sys.S.Sched_intf.start ();
+    W.Openloop.start gen ~rate_rps:rate ~until:40_000_000;
+    Sim.run_until b.Runner.sim 10_000_000;
+    W.Openloop.open_window gen ~at:10_000_000;
+    Sim.run_until b.Runner.sim 40_000_000;
+    b.Runner.sys.S.Sched_intf.stop ();
+    W.Openloop.throughput_rps gen ~now:40_000_000
+  in
+  let b = mk ?cost ?vessel_params () in
+  let gen = W.Memcached.make ~sim:b.Runner.sim ~sys:b.Runner.sys ~app_id:1 ~workers:cores () in
+  let lp = W.Linpack.make ~sys:b.Runner.sys ~app_id:2 ~workers:cores () in
+  let warmup = 10_000_000 and duration = 60_000_000 in
+  let horizon = warmup + duration in
+  b.Runner.sys.S.Sched_intf.start ();
+  W.Openloop.start gen ~rate_rps:(0.7 *. cap) ~until:horizon;
+  Sim.run_until b.Runner.sim warmup;
+  W.Openloop.open_window gen ~at:warmup;
+  let b0 = W.Linpack.completed_ns lp in
+  Sim.run_until b.Runner.sim horizon;
+  b.Runner.sys.S.Sched_intf.stop ();
+  let h = W.Openloop.latencies gen in
+  let b_norm =
+    float_of_int (W.Linpack.completed_ns lp - b0)
+    /. float_of_int (duration * cores)
+  in
+  let l_norm = W.Openloop.throughput_rps gen ~now:horizon /. cap in
+  ( float_of_int (Vessel_stats.Histogram.percentile h 99.9) /. 1e3,
+    l_norm +. b_norm,
+    b_norm )
+
+let default_cycles = [ 11; 60; 130; 260; 1_000; 4_000 ]
+
+let run_switch_cost ?(seed = 42) ?(cores = 4) ?(cycles = default_cycles) () =
+  List.map
+    (fun c ->
+      let ns = Vessel_engine.Time.of_cycles ~ghz:2.1 c in
+      let cost = Cost_model.v ~f:(fun d -> { d with Cost_model.wrpkru = ns }) () in
+      let p999, total, _ = measure ~seed ~cores ?cost:(Some cost) () in
+      {
+        wrpkru_cycles = c;
+        park_switch_ns = Cost_model.vessel_park_switch cost;
+        p999_us = p999;
+        normalized_total = total;
+      })
+    cycles
+
+let run_policy ?(seed = 42) ?(cores = 4) () =
+  let default = S.Vessel.default_params in
+  let conservative =
+    (* Caladan-paced policy over the 161ns switch: no per-wakeup
+       preemption, 10us scans, 2us tolerance before acting. *)
+    {
+      default with
+      S.Vessel.scan_interval = 10_000;
+      be_preempt_delay = 2_000;
+      eager_preempt = false;
+    }
+  in
+  let kernel_signals =
+    (* Uintr replaced by the kernel signal path: delivery takes the
+       ioctl+IPI+signal time, handler entry the kernel trap. *)
+    Cost_model.v
+      ~f:(fun d ->
+        {
+          d with
+          Cost_model.uintr_delivery =
+            d.Cost_model.ioctl + d.Cost_model.ipi_flight
+            + d.Cost_model.kernel_signal;
+          uintr_handler_entry = d.Cost_model.user_save_state;
+          uiret = d.Cost_model.kernel_restore;
+        })
+      ()
+  in
+  let vessel_rows =
+    List.map
+      (fun (label, cost, vessel_params) ->
+        let p999, total, b = measure ~seed ~cores ?cost ?vessel_params () in
+        { label; p999_us = p999; normalized_total = total; b_normalized = b })
+      [
+        ("vessel", None, None);
+        ("vessel-conservative-policy", None, Some conservative);
+        ("vessel-kernel-signals", Some kernel_signals, None);
+      ]
+  in
+  (* Caladan reference point under the shared harness. *)
+  let caladan_row =
+    let sched = Runner.Caladan in
+    let cap = Runner.l_alone_capacity ~seed ~cores ~sched ~l_app:Runner.Memcached () in
+    let b_max = Runner.b_alone_capacity ~seed ~cores ~sched () in
+    let m =
+      Runner.run_colocation ~seed ~cores ~sched ~l_app:Runner.Memcached
+        ~rate_rps:(0.7 *. cap) ()
+    in
+    {
+      label = "caladan";
+      p999_us = m.Runner.p999_us;
+      normalized_total =
+        Runner.normalized_total ~m ~l_max_rps:cap ~b_max_ns_per_ns:b_max;
+      b_normalized =
+        float_of_int m.Runner.b_completed_ns
+        /. float_of_int m.Runner.window_ns /. b_max;
+    }
+  in
+  vessel_rows @ [ caladan_row ]
+
+let print_switch_cost rows =
+  Report.section "Ablation A: WRPKRU cost sweep (11-260 cycles cited, plus slow hypotheticals)";
+  Report.paper_note
+    "ERIM measures WRPKRU at 11-260 cycles; VESSEL's design presumes the \
+     composite switch stays deeply sub-microsecond";
+  let t =
+    Vessel_stats.Table.create
+      ~columns:[ "wrpkru cyc"; "park switch"; "p999"; "norm total" ]
+  in
+  List.iter
+    (fun r ->
+      Vessel_stats.Table.add_row t
+        [
+          string_of_int r.wrpkru_cycles;
+          Printf.sprintf "%dns" r.park_switch_ns;
+          Report.us r.p999_us;
+          Report.f2 r.normalized_total;
+        ])
+    rows;
+  Report.table t
+
+let print_policy rows =
+  Report.section "Ablation B: mechanism vs policy vs delivery";
+  Report.paper_note
+    "the fast switch and the one-level policy compound: either alone \
+     recovers only part of the gap to Caladan";
+  let t =
+    Vessel_stats.Table.create
+      ~columns:[ "configuration"; "p999"; "norm total"; "B norm" ]
+  in
+  List.iter
+    (fun r ->
+      Vessel_stats.Table.add_row t
+        [ r.label; Report.us r.p999_us; Report.f2 r.normalized_total; Report.f2 r.b_normalized ])
+    rows;
+  Report.table t

@@ -1,0 +1,45 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    Three questions the paper's design implies but does not plot:
+
+    - {b Switch-cost sensitivity}: WRPKRU is cited at 11-260 cycles; how
+      do VESSEL's tails and efficiency respond across that whole range,
+      and at which (hypothetical) switch cost does the one-level design
+      stop paying off?
+    - {b Mechanism vs policy}: give VESSEL's {e policy} Caladan-like
+      conservatism (no per-wakeup preemption, 10 us scans) while keeping
+      the 161 ns switches — how much of the win is the fast switch and how
+      much the aggressive policy it enables?
+    - {b Uintr vs kernel signals}: replace the Uintr delivery path with
+      IPI+signal costs inside VESSEL — what the design would lose on
+      pre-Uintr hardware. *)
+
+type switch_cost_row = {
+  wrpkru_cycles : int;
+  park_switch_ns : int;  (** the resulting composite switch cost *)
+  p999_us : float;
+  normalized_total : float;
+}
+
+val run_switch_cost :
+  ?seed:int -> ?cores:int -> ?cycles:int list -> unit -> switch_cost_row list
+(** Sweep the WRPKRU cost (default 11, 60, 130, 260, 1000, 4000 cycles —
+    the cited range plus two hypothetical slow points) with the memcached
+    + Linpack colocation at 70% load. *)
+
+type policy_row = {
+  label : string;
+  p999_us : float;
+  normalized_total : float;
+  b_normalized : float;
+}
+
+val run_policy :
+  ?seed:int -> ?cores:int -> unit -> policy_row list
+(** Four configurations: vessel (fast switch + eager policy),
+    vessel-conservative (fast switch + Caladan-style pacing),
+    vessel-kernel-signals (eager policy + IPI-cost preemption delivery),
+    caladan (slow switch + conservative policy). *)
+
+val print_switch_cost : switch_cost_row list -> unit
+val print_policy : policy_row list -> unit

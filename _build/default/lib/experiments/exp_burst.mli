@@ -1,0 +1,32 @@
+(** Burst absorption — the paper's opening motivation, quantified.
+
+    Section 1: L-app load "jitters not only over diurnally or seasonally
+    long timescales, but also over us-scale short intervals. To keep
+    latency low, L-apps must reserve enough idle CPU cores all the time",
+    unless the scheduler can hand cores back fast enough. Here the
+    offered load idles at a low base and spikes to well over the reserved
+    share for a few tens of microseconds at a time, with Linpack soaking
+    the gaps: the scheduler that reallocates in ~161 ns rides the bursts;
+    the kernel-mediated ones pay the reallocation path on every spike. *)
+
+type row = {
+  system : Runner.sched_kind;
+  p50_us : float;
+  p999_us : float;
+  served : int;
+  b_normalized : float;
+}
+
+val run :
+  ?seed:int ->
+  ?cores:int ->
+  ?base_fraction:float ->
+  ?burst_fraction:float ->
+  ?burst_len:int ->
+  ?period:int ->
+  unit ->
+  row list
+(** Defaults: base 20% of capacity, bursts to 120% for 30 us every
+    300 us, on 4 cores; systems VESSEL / Caladan / Caladan-DR-L. *)
+
+val print : row list -> unit

@@ -1,0 +1,74 @@
+type row = {
+  load_fraction : float;
+  offered_rps : float;
+  normalized_total : float;
+  app_cores : float;
+  runtime_cores : float;
+  kernel_cores : float;
+  idle_cores : float;
+}
+
+let default_fractions = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
+
+let run ?(seed = 42) ?(cores = 8) ?(fractions = default_fractions) () =
+  let sched = Runner.Caladan in
+  let l_max =
+    Runner.l_alone_capacity ~seed ~cores ~sched ~l_app:Runner.Memcached ()
+  in
+  let b_max = Runner.b_alone_capacity ~seed ~cores ~sched () in
+  List.map
+    (fun f ->
+      let m =
+        Runner.run_colocation ~seed ~cores ~sched ~l_app:Runner.Memcached
+          ~rate_rps:(f *. l_max) ()
+      in
+      {
+        load_fraction = f;
+        offered_rps = m.Runner.offered_rps;
+        normalized_total =
+          Runner.normalized_total ~m ~l_max_rps:l_max ~b_max_ns_per_ns:b_max;
+        app_cores = m.Runner.app_cores;
+        runtime_cores = m.Runner.runtime_cores;
+        kernel_cores = m.Runner.kernel_cores;
+        idle_cores = m.Runner.idle_cores;
+      })
+    fractions
+
+let max_decline rows =
+  1. -. List.fold_left (fun acc r -> Float.min acc r.normalized_total) 2. rows
+
+let max_waste_fraction rows =
+  List.fold_left
+    (fun acc r ->
+      let busy = r.app_cores +. r.runtime_cores +. r.kernel_cores in
+      if busy <= 0. then acc
+      else Float.max acc ((r.runtime_cores +. r.kernel_cores) /. busy))
+    0. rows
+
+let print rows =
+  Report.section "Figure 1: cost of application colocation (Caladan)";
+  Report.paper_note
+    "total normalized throughput declines by up to 18%; up to 17% of CPU \
+     cycles go to kernel+runtime instead of application logic";
+  let t =
+    Vessel_stats.Table.create
+      ~columns:
+        [ "load"; "offered"; "norm total"; "app cores"; "runtime"; "kernel"; "idle" ]
+  in
+  List.iter
+    (fun r ->
+      Vessel_stats.Table.add_row t
+        [
+          Report.f2 r.load_fraction;
+          Report.mops r.offered_rps;
+          Report.f2 r.normalized_total;
+          Report.f2 r.app_cores;
+          Report.f2 r.runtime_cores;
+          Report.f2 r.kernel_cores;
+          Report.f2 r.idle_cores;
+        ])
+    rows;
+  Report.table t;
+  Report.kv "max decline" (Printf.sprintf "%.1f%%" (100. *. max_decline rows));
+  Report.kv "max kernel+runtime share of busy cycles"
+    (Printf.sprintf "%.1f%%" (100. *. max_waste_fraction rows))

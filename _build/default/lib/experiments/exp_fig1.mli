@@ -1,0 +1,29 @@
+(** Figure 1 — the cost of application colocation under Caladan.
+
+    Memcached (L-app) colocated with Linpack (B-app); the load of the
+    L-app sweeps from idle to saturation. Panel (a): the total normalized
+    throughput declines by up to ~18% below the ideal 1.0. Panel (b): up
+    to ~17% of CPU cycles are spent in the kernel and runtime rather than
+    application logic. *)
+
+type row = {
+  load_fraction : float;
+  offered_rps : float;
+  normalized_total : float;
+  app_cores : float;
+  runtime_cores : float;
+  kernel_cores : float;
+  idle_cores : float;
+}
+
+val run :
+  ?seed:int -> ?cores:int -> ?fractions:float list -> unit -> row list
+(** Default fractions: 0.1 .. 0.9. *)
+
+val print : row list -> unit
+
+val max_decline : row list -> float
+(** [1 - min normalized_total] — the headline "up to 18%". *)
+
+val max_waste_fraction : row list -> float
+(** Peak (runtime+kernel) / total busy cores — the headline "up to 17%". *)

@@ -1,0 +1,79 @@
+type row = {
+  system : Runner.sched_kind;
+  instances : int;
+  load_fraction : float;
+  aggregate_rps : float;
+  p999_us : float;
+}
+
+let run ?(seed = 42) ?(instances = [ 1; 10 ])
+    ?(fractions = [ 0.3; 0.5; 0.7; 0.9; 1.1 ]) () =
+  let cap =
+    Runner.l_alone_capacity ~seed ~cores:1 ~sched:Runner.Vessel
+      ~l_app:Runner.Memcached ()
+  in
+  List.concat_map
+    (fun sched ->
+      List.concat_map
+        (fun k ->
+          List.map
+            (fun f ->
+              let agg, p999, _, _, _ =
+                Exp_fig2.dense_run ~seed ~sched ~instances:k
+                  ~total_rps:(f *. cap) ~warmup:20_000_000
+                  ~duration:100_000_000
+              in
+              {
+                system = sched;
+                instances = k;
+                load_fraction = f;
+                aggregate_rps = agg;
+                p999_us = p999;
+              })
+            fractions)
+        instances)
+    [ Runner.Vessel; Runner.Caladan_dr_l ]
+
+let peak rows ~sys ~instances =
+  List.fold_left
+    (fun acc r ->
+      if r.system <> sys || r.instances <> instances then acc
+      else
+        match acc with
+        | Some best when best.aggregate_rps >= r.aggregate_rps -> acc
+        | _ -> Some r)
+    None rows
+
+let print rows =
+  Report.section "Figure 10: dense colocation (1 vs 10 memcached, one core)";
+  Report.paper_note
+    "single instance: both systems match; 10 instances: Caladan-DR-L peak \
+     throughput -25%, p999 +20% at the peak; VESSEL almost unchanged";
+  let t =
+    Vessel_stats.Table.create
+      ~columns:[ "system"; "instances"; "load"; "agg tput"; "p999" ]
+  in
+  List.iter
+    (fun r ->
+      Vessel_stats.Table.add_row t
+        [
+          Runner.sched_name r.system;
+          string_of_int r.instances;
+          Report.f2 r.load_fraction;
+          Report.mops r.aggregate_rps;
+          Report.us r.p999_us;
+        ])
+    rows;
+  Report.table t;
+  List.iter
+    (fun sys ->
+      match (peak rows ~sys ~instances:1, peak rows ~sys ~instances:10) with
+      | Some p1, Some p10 when p1.aggregate_rps > 0. ->
+          Report.kv
+            (Printf.sprintf "%s peak decline 1->10 instances"
+               (Runner.sched_name sys))
+            (Printf.sprintf "%.1f%% (p999 %.1fus -> %.1fus)"
+               (100. *. (1. -. (p10.aggregate_rps /. p1.aggregate_rps)))
+               p1.p999_us p10.p999_us)
+      | _ -> ())
+    [ Runner.Vessel; Runner.Caladan_dr_l ]

@@ -1,0 +1,28 @@
+(** Figure 10 — dense colocation: 1 vs 10 Memcached instances on one core.
+
+    With a single instance both systems match; with 10, Caladan-DR-L's
+    peak aggregate throughput drops ~25% and its p999 rises ~20%, while
+    VESSEL is nearly unchanged — cross-application switching costs the
+    same as intra-application load balancing under uProcess. *)
+
+type row = {
+  system : Runner.sched_kind;
+  instances : int;
+  load_fraction : float;
+  aggregate_rps : float;
+  p999_us : float;
+}
+
+val run :
+  ?seed:int ->
+  ?instances:int list ->
+  ?fractions:float list ->
+  unit ->
+  row list
+(** Systems: VESSEL and Caladan-DR-L (the paper drops the others here as
+    they are orders of magnitude worse). *)
+
+val print : row list -> unit
+
+val peak : row list -> sys:Runner.sched_kind -> instances:int -> row option
+(** Highest-throughput row for the combination. *)

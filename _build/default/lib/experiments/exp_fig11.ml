@@ -1,0 +1,91 @@
+module Sim = Vessel_engine.Sim
+module Hw = Vessel_hw
+module S = Vessel_sched
+module W = Vessel_workloads
+
+type row = {
+  system : Runner.sched_kind;
+  miss_rate : float;
+  objects_copied : int;
+  completion_ns_per_object : float;
+}
+
+let measure ~seed ~working_set ~duration sched =
+  let b = Runner.build ~seed ~cores:1 sched in
+  (* Address placement. VESSEL: one SMAS, the allocator packs both
+     working sets back to back — together they fit the LLC. Separate
+     kProcesses: each process's pages are scattered by the kernel's
+     physical allocator, so the same logical working set occupies a ~2.4x
+     larger physical span; the two spans together exceed the LLC and the
+     cyclic copy pattern defeats LRU. *)
+  let fragmented = working_set * 12 / 5 in
+  let region_a, region_b =
+    match sched with
+    | Runner.Vessel ->
+        ((0x100000, working_set), (0x100000 + working_set, working_set))
+    | _ -> ((0x100000, fragmented), (0x100000 + (4 * fragmented), fragmented))
+  in
+  let oc_a =
+    W.Objcopy.make ~sys:b.Runner.sys ~app_id:1 ~name:"copyA" ~region:region_a ()
+  in
+  let oc_b =
+    W.Objcopy.make ~sys:b.Runner.sys ~app_id:2 ~name:"copyB" ~region:region_b ()
+  in
+  b.Runner.sys.S.Sched_intf.start ();
+  (* The copiers park between batches; keep both runnable so the core
+     genuinely alternates between the two applications. *)
+  let rec kick sim =
+    b.Runner.sys.S.Sched_intf.notify_app ~app_id:1;
+    b.Runner.sys.S.Sched_intf.notify_app ~app_id:2;
+    if Sim.now sim < duration then
+      ignore (Sim.schedule_after sim ~delay:20_000 kick)
+  in
+  ignore (Sim.schedule b.Runner.sim ~at:0 kick);
+  Sim.run_until b.Runner.sim duration;
+  b.Runner.sys.S.Sched_intf.stop ();
+  let cache = Hw.Machine.cache b.Runner.machine in
+  let copied = W.Objcopy.copied_objects oc_a + W.Objcopy.copied_objects oc_b in
+  let busy =
+    W.Objcopy.completion_time_ns oc_a + W.Objcopy.completion_time_ns oc_b
+  in
+  {
+    system = sched;
+    miss_rate = Hw.Cache.miss_rate cache;
+    objects_copied = copied;
+    completion_ns_per_object =
+      (if copied = 0 then 0. else float_of_int busy /. float_of_int copied);
+  }
+
+let run ?(seed = 42) ?(working_set = 512 * 1024) ?(duration = 50_000_000) () =
+  [
+    measure ~seed ~working_set ~duration Runner.Vessel;
+    measure ~seed ~working_set ~duration Runner.Caladan;
+  ]
+
+let print rows =
+  Report.section "Figure 11: cache friendliness (two object-copy apps, one core)";
+  Report.paper_note
+    "VESSEL reduces the miss rate from Caladan's 4.6% to ~0.04%; completion \
+     time is 6-24% lower";
+  let t =
+    Vessel_stats.Table.create
+      ~columns:[ "system"; "miss rate"; "objects"; "ns/object" ]
+  in
+  List.iter
+    (fun r ->
+      Vessel_stats.Table.add_row t
+        [
+          Runner.sched_name r.system;
+          Printf.sprintf "%.4f%%" (100. *. r.miss_rate);
+          string_of_int r.objects_copied;
+          Report.f1 r.completion_ns_per_object;
+        ])
+    rows;
+  Report.table t;
+  match rows with
+  | [ v; c ] when c.completion_ns_per_object > 0. ->
+      Report.kv "VESSEL completion time vs Caladan"
+        (Printf.sprintf "%.1f%% lower"
+           (100.
+           *. (1. -. (v.completion_ns_per_object /. c.completion_ns_per_object))))
+  | _ -> ()

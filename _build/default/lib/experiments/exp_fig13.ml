@@ -1,0 +1,208 @@
+module Sim = Vessel_engine.Sim
+module Hw = Vessel_hw
+module S = Vessel_sched
+module U = Vessel_uprocess
+module W = Vessel_workloads
+module Stats = Vessel_stats
+
+type colocate_row = {
+  system : Runner.sched_kind;
+  load_fraction : float;
+  normalized_total : float;
+  p999_us : float;
+  membw_utilization : float;
+}
+
+type accuracy_row = {
+  target : float;
+  vessel_achieved : float;
+  mba_achieved : float;
+  cfs_achieved : float;
+}
+
+let bytes_per_req = 4_096
+let membench_bytes_per_ns = 32
+
+(* One colocation run: memory-bound memcached + membench, the latter
+   duty-cycled by a utilization-feedback controller whose quantum is the
+   system's forte: 50 us under VESSEL, 2 ms under Caladan (each toggle
+   costs a kernel reallocation there, so finer quanta would thrash). *)
+let colocate ~seed ~cores ~sched ~rate_rps ~l_max =
+  let quota_period =
+    match sched with Runner.Vessel -> 50_000 | _ -> 2_000_000
+  in
+  let b = Runner.build ~seed ~cores sched in
+  let sys = b.Runner.sys in
+  let sim = b.Runner.sim in
+  let membw = Hw.Machine.membw b.Runner.machine in
+  (* L-app: memcached whose services touch DRAM. *)
+  sys.S.Sched_intf.add_app
+    { S.Sched_intf.id = 1; name = "memcached"; class_ = S.Sched_intf.Latency_critical };
+  let gen =
+    W.Openloop.create ~sim ~sys ~app_id:1 ~service:W.Memcached.service_dist
+  in
+  for i = 0 to cores - 1 do
+    ignore
+      (sys.S.Sched_intf.add_worker ~app_id:1
+         ~name:(Printf.sprintf "mc-w%d" i)
+         ~step:(W.Openloop.worker_step_mem gen ~bytes_per_req))
+  done;
+  (* B-app: membench under a quota whose fraction the controller adapts. *)
+  let quota =
+    S.Cgroup.quota ~sim ~period:quota_period ~fraction:1.0 ~on_refill:(fun () ->
+        (* Re-ready every throttled membench worker. *)
+        for _ = 1 to cores do
+          sys.S.Sched_intf.notify_app ~app_id:2
+        done)
+  in
+  let mb =
+    W.Membench.make ~sys ~app_id:2 ~workers:cores
+      ~bytes_per_ns:membench_bytes_per_ns
+      ~step_wrapper:(fun step -> S.Cgroup.wrap quota step)
+      ()
+  in
+  (* Utilization feedback every 1 ms: hold the bus near 90%. *)
+  let fraction = ref 1.0 in
+  let rec control sim' =
+    let util = Hw.Membw.utilization membw in
+    if util > 0.9 then fraction := Float.max 0.05 (!fraction -. 0.1)
+    else if util < 0.8 then fraction := Float.min 1.0 (!fraction +. 0.05);
+    S.Cgroup.set_fraction quota !fraction;
+    ignore (Sim.schedule_after sim' ~delay:1_000_000 control)
+  in
+  ignore (Sim.schedule_after sim ~delay:1_000_000 control);
+  let warmup = 20_000_000 and duration = 100_000_000 in
+  let horizon = warmup + duration in
+  sys.S.Sched_intf.start ();
+  W.Openloop.start gen ~rate_rps ~until:horizon;
+  Sim.run_until sim warmup;
+  W.Openloop.open_window gen ~at:warmup;
+  let b0 = W.Membench.completed_ns mb in
+  Sim.run_until sim horizon;
+  sys.S.Sched_intf.stop ();
+  let h = W.Openloop.latencies gen in
+  let l_norm = W.Openloop.throughput_rps gen ~now:horizon /. l_max in
+  (* membench's run-alone rate is one core's worth per worker (it is
+     CPU-shaped work), so normalize by cores. *)
+  let b_norm =
+    float_of_int (W.Membench.completed_ns mb - b0)
+    /. float_of_int (duration * cores)
+  in
+  ( l_norm +. b_norm,
+    float_of_int (Stats.Histogram.percentile h 99.9) /. 1e3,
+    Hw.Membw.utilization membw )
+
+let run_colocation ?(seed = 42) ?(cores = 4) ?(fractions = [ 0.2; 0.4; 0.6; 0.8 ])
+    () =
+  List.concat_map
+    (fun sched ->
+      let l_max =
+        Runner.l_alone_capacity ~seed ~cores ~sched ~l_app:Runner.Memcached ()
+      in
+      List.map
+        (fun f ->
+          let total, p999, util =
+            colocate ~seed ~cores ~sched ~rate_rps:(f *. l_max) ~l_max
+          in
+          {
+            system = sched;
+            load_fraction = f;
+            normalized_total = total;
+            p999_us = p999;
+            membw_utilization = util;
+          })
+        fractions)
+    [ Runner.Vessel; Runner.Caladan ]
+
+(* --- (b) regulation accuracy --- *)
+
+let vessel_operational_accuracy ~seed ~target =
+  let sim = Sim.create ~seed () in
+  let machine = Hw.Machine.create ~cores:1 sim in
+  let v = S.Vessel.make ~machine () in
+  let sys = S.Vessel.system v in
+  let membw = Hw.Machine.membw machine in
+  let full_rate =
+    W.Membench.full_rate ~mem_ns:5_000 ~compute_ns:5_000 ~bytes_per_ns:8
+  in
+  let reg = ref None in
+  let quota_wrap step ~now =
+    match !reg with None -> step ~now | Some r -> S.Bw_regulator.wrap r step ~now
+  in
+  let _mb =
+    W.Membench.make ~sys ~app_id:1 ~workers:1 ~step_wrapper:quota_wrap ()
+  in
+  reg :=
+    Some
+      (S.Bw_regulator.create ~sim ~membw ~app:1 ~target_fraction:target
+         ~full_rate
+         ~on_refill:(fun () -> sys.S.Sched_intf.notify_app ~app_id:1)
+         ());
+  let rec adjust sim' =
+    (match !reg with
+    | Some r -> S.Bw_regulator.adjust r ~now:(Sim.now sim')
+    | None -> ());
+    ignore (Sim.schedule_after sim' ~delay:1_000_000 adjust)
+  in
+  ignore (Sim.schedule_after sim ~delay:1_000_000 adjust);
+  let duration = 50_000_000 in
+  sys.S.Sched_intf.start ();
+  Sim.run_until sim duration;
+  sys.S.Sched_intf.stop ();
+  float_of_int (Hw.Membw.total_bytes membw ~app:1)
+  /. float_of_int duration /. full_rate
+
+let run_accuracy ?(seed = 42)
+    ?(targets = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
+  List.map
+    (fun target ->
+      {
+        target;
+        vessel_achieved = vessel_operational_accuracy ~seed ~target;
+        mba_achieved = S.Mba.achieved_fraction ~setting:target;
+        cfs_achieved =
+          S.Cgroup.shares_achieved_fraction ~setting:target ~contention:0.;
+      })
+    targets
+
+let print_colocation rows =
+  Report.section "Figure 13a: memcached + membench with bandwidth-aware scheduling";
+  Report.paper_note
+    "VESSEL achieves up to 43% higher total normalized throughput than \
+     Caladan under the tail-latency constraints";
+  let t =
+    Stats.Table.create
+      ~columns:[ "system"; "load"; "norm total"; "p999"; "bus util" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          Runner.sched_name r.system;
+          Report.f2 r.load_fraction;
+          Report.f2 r.normalized_total;
+          Report.us r.p999_us;
+          Report.f2 r.membw_utilization;
+        ])
+    rows;
+  Report.table t
+
+let print_accuracy rows =
+  Report.section "Figure 13b: bandwidth regulation accuracy";
+  Report.paper_note
+    "VESSEL tracks the target closely; MBA and Linux CFS deliver far more \
+     bandwidth than desired";
+  let t =
+    Stats.Table.create ~columns:[ "target"; "vessel"; "mba"; "linux-cfs" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          Report.f2 r.target;
+          Report.f2 r.vessel_achieved;
+          Report.f2 r.mba_achieved;
+          Report.f2 r.cfs_achieved;
+        ])
+    rows;
+  Report.table t

@@ -1,0 +1,111 @@
+module Sim = Vessel_engine.Sim
+module S = Vessel_sched
+module W = Vessel_workloads
+module Stats = Vessel_stats
+
+type row = {
+  instances : int;
+  aggregate_rps : float;
+  p999_us : float;
+  app_cores : float;
+  runtime_cores : float;
+  kernel_cores : float;
+}
+
+(* Build k memcached instances on one core under the given scheduler and
+   drive each at an even share of the target load. Shared with Fig 10. *)
+let dense_run ~seed ~sched ~instances ~total_rps ~warmup ~duration =
+  let b = Runner.build ~seed ~cores:1 sched in
+  let gens =
+    List.init instances (fun i ->
+        let app_id = i + 1 in
+        b.Runner.sys.S.Sched_intf.add_app
+          {
+            S.Sched_intf.id = app_id;
+            name = Printf.sprintf "memcached-%d" app_id;
+            class_ = S.Sched_intf.Latency_critical;
+          };
+        let gen =
+          W.Openloop.create ~sim:b.Runner.sim ~sys:b.Runner.sys ~app_id
+            ~service:W.Memcached.service_dist
+        in
+        ignore
+          (b.Runner.sys.S.Sched_intf.add_worker ~app_id
+             ~name:(Printf.sprintf "mc%d-w0" app_id)
+             ~step:(W.Openloop.worker_step gen));
+        gen)
+  in
+  let horizon = warmup + duration in
+  b.Runner.sys.S.Sched_intf.start ();
+  let per_app = total_rps /. float_of_int instances in
+  List.iter (fun g -> W.Openloop.start g ~rate_rps:per_app ~until:horizon) gens;
+  Sim.run_until b.Runner.sim warmup;
+  List.iter (fun g -> W.Openloop.open_window g ~at:warmup) gens;
+  let acct0 = Vessel_hw.Machine.total_account b.Runner.machine in
+  let snap0 =
+    ( Stats.Cycle_account.app_total acct0,
+      Stats.Cycle_account.total acct0 Stats.Cycle_account.Runtime,
+      Stats.Cycle_account.total acct0 Stats.Cycle_account.Kernel )
+  in
+  Sim.run_until b.Runner.sim horizon;
+  b.Runner.sys.S.Sched_intf.stop ();
+  let acct1 = Vessel_hw.Machine.total_account b.Runner.machine in
+  let app0, rt0, k0 = snap0 in
+  let wall = float_of_int duration in
+  let agg_hist = Stats.Histogram.create () in
+  List.iter (fun g -> Stats.Histogram.merge ~into:agg_hist (W.Openloop.latencies g)) gens;
+  let served = List.fold_left (fun acc g -> acc + W.Openloop.served g) 0 gens in
+  ( float_of_int served /. (wall /. 1e9),
+    float_of_int (Stats.Histogram.percentile agg_hist 99.9) /. 1e3,
+    float_of_int (Stats.Cycle_account.app_total acct1 - app0) /. wall,
+    float_of_int
+      (Stats.Cycle_account.total acct1 Stats.Cycle_account.Runtime - rt0)
+    /. wall,
+    float_of_int (Stats.Cycle_account.total acct1 Stats.Cycle_account.Kernel - k0)
+    /. wall )
+
+let run ?(seed = 42) ?(instances = [ 1; 2; 4; 6; 8; 10 ])
+    ?(load_fraction = 0.6) () =
+  let cap =
+    Runner.l_alone_capacity ~seed ~cores:1 ~sched:Runner.Caladan
+      ~l_app:Runner.Memcached ()
+  in
+  List.map
+    (fun k ->
+      let agg, p999, app, rt, kern =
+        dense_run ~seed ~sched:Runner.Caladan ~instances:k
+          ~total_rps:(load_fraction *. cap) ~warmup:20_000_000
+          ~duration:100_000_000
+      in
+      {
+        instances = k;
+        aggregate_rps = agg;
+        p999_us = p999;
+        app_cores = app;
+        runtime_cores = rt;
+        kernel_cores = kern;
+      })
+    instances
+
+let print rows =
+  Report.section "Figure 2: cost of dense colocation (Caladan, one core)";
+  Report.paper_note
+    "as the number of colocated L-apps grows, CPU cycles spent in the \
+     kernel grow as well";
+  let t =
+    Stats.Table.create
+      ~columns:[ "instances"; "agg tput"; "p999"; "app"; "runtime"; "kernel" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          string_of_int r.instances;
+          Report.mops r.aggregate_rps;
+          Report.us r.p999_us;
+          Report.f2 r.app_cores;
+          Report.f2 r.runtime_cores;
+          Report.f2 r.kernel_cores;
+        ])
+    rows;
+  Report.table t

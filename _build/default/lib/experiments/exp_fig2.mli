@@ -1,0 +1,33 @@
+(** Figure 2 — the cost of dense colocation under Caladan.
+
+    An increasing number of Memcached instances share a single CPU core;
+    as the count grows, so do the cross-application switches and with them
+    the CPU cycles burnt in the kernel. *)
+
+type row = {
+  instances : int;
+  aggregate_rps : float;
+  p999_us : float;
+  app_cores : float;
+  runtime_cores : float;
+  kernel_cores : float;
+}
+
+val dense_run :
+  seed:int ->
+  sched:Runner.sched_kind ->
+  instances:int ->
+  total_rps:float ->
+  warmup:int ->
+  duration:int ->
+  float * float * float * float * float
+(** Shared with Figure 10: k single-worker Memcached instances on one
+    core. Returns (aggregate rps, p999 us, app cores, runtime cores,
+    kernel cores). *)
+
+val run :
+  ?seed:int -> ?instances:int list -> ?load_fraction:float -> unit -> row list
+(** Defaults: 1, 2, 4, 6, 8, 10 instances at 60% of single-core
+    capacity split evenly. *)
+
+val print : row list -> unit

@@ -1,0 +1,114 @@
+type row = {
+  system : Runner.sched_kind;
+  load_fraction : float;
+  offered_rps : float;
+  achieved_rps : float;
+  normalized_total : float;
+  b_normalized : float;
+  p999_us : float;
+}
+
+let default_fractions = [ 0.05; 0.1; 0.2; 0.3; 0.5; 0.7; 0.8; 0.9 ]
+
+(* The paper could only drive Arachne to ~1 Mops and CFS to ~0.3 Mops of
+   memcached's ~16 Mops capacity: cap their sweeps accordingly. *)
+let cap_for = function
+  | Runner.Arachne -> 0.25
+  | Runner.Linux_cfs -> 0.08
+  | Runner.Vessel | Runner.Caladan | Runner.Caladan_dr_l
+  | Runner.Caladan_dr_h ->
+      1.0
+
+let run ?(seed = 42) ?(cores = 8) ?(systems = Runner.all_systems)
+    ?(fractions = default_fractions) ~l_app () =
+  List.concat_map
+    (fun sched ->
+      let l_max = Runner.l_alone_capacity ~seed ~cores ~sched ~l_app () in
+      let b_max = Runner.b_alone_capacity ~seed ~cores ~sched () in
+      let cap = cap_for sched in
+      List.filter_map
+        (fun f ->
+          if f > cap then None
+          else begin
+            let m =
+              Runner.run_colocation ~seed ~cores ~sched ~l_app
+                ~rate_rps:(f *. l_max) ()
+            in
+            let b_rate =
+              float_of_int m.Runner.b_completed_ns
+              /. float_of_int m.Runner.window_ns
+            in
+            Some
+              {
+                system = sched;
+                load_fraction = f;
+                offered_rps = m.Runner.offered_rps;
+                achieved_rps = m.Runner.achieved_rps;
+                normalized_total =
+                  Runner.normalized_total ~m ~l_max_rps:l_max
+                    ~b_max_ns_per_ns:b_max;
+                b_normalized = (if b_max <= 0. then 0. else b_rate /. b_max);
+                p999_us = m.Runner.p999_us;
+              }
+          end)
+        fractions)
+    systems
+
+let vessel_vs_caladan_p999 rows =
+  let at sys f =
+    List.find_opt (fun r -> r.system = sys && r.load_fraction = f) rows
+  in
+  let common =
+    List.filter_map
+      (fun r ->
+        if r.system = Runner.Vessel && at Runner.Caladan r.load_fraction <> None
+        then Some r.load_fraction
+        else None)
+      rows
+  in
+  match List.rev common with
+  | [] -> None
+  | f :: _ -> (
+      match (at Runner.Vessel f, at Runner.Caladan f) with
+      | Some v, Some c when c.p999_us > 0. ->
+          Some (1. -. (v.p999_us /. c.p999_us))
+      | _ -> None)
+
+let print ~l_app rows =
+  Report.section
+    (Printf.sprintf "Figure 9 (%s + Linpack): colocation across systems"
+       (Runner.l_app_name l_app));
+  (match l_app with
+  | Runner.Memcached ->
+      Report.paper_note
+        "VESSEL norm total ~1 (-6.6% avg); Caladan -16.1% avg / -32.1% max; \
+         VESSEL p999 42.1%/18.6%/44.0% below Caladan/DR-L/DR-H; Arachne and \
+         CFS tails explode at low load"
+  | Runner.Silo ->
+      Report.paper_note
+        "long services amortize reallocation: both Caladan and VESSEL \
+         approach the ideal; CFS loses throughput at low load");
+  let t =
+    Vessel_stats.Table.create
+      ~columns:
+        [ "system"; "load"; "offered"; "achieved"; "norm total"; "B norm"; "p999" ]
+  in
+  List.iter
+    (fun r ->
+      Vessel_stats.Table.add_row t
+        [
+          Runner.sched_name r.system;
+          Report.f2 r.load_fraction;
+          Report.mops r.offered_rps;
+          Report.mops r.achieved_rps;
+          Report.f2 r.normalized_total;
+          Report.f2 r.b_normalized;
+          Report.us r.p999_us;
+        ])
+    rows;
+  Report.table t;
+  match vessel_vs_caladan_p999 rows with
+  | Some x ->
+      Report.kv "VESSEL p999 vs Caladan at top common load"
+        (Printf.sprintf "%.1f%% lower" (100. *. x))
+  | None -> ()

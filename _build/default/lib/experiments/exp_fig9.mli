@@ -1,0 +1,42 @@
+(** Figure 9 — colocating an L-app and a B-app across all systems.
+
+    Two rows of panels: Memcached (short 1 us services) and Silo (long,
+    variable TPC-C services) as the L-app, Linpack as the B-app. For each
+    scheduler and each offered load we report the total normalized
+    throughput, the B-app's normalized throughput, and the L-app's p999 —
+    the three panels of the figure.
+
+    Paper headlines: with Memcached, VESSEL's throughput at a 50 us p999
+    target is 8.3% above Caladan's; at 16 Mops VESSEL's p999 is 42.1% /
+    18.6% / 44.0% below Caladan / DR-L / DR-H; VESSEL's normalized total
+    stays near 1 (-6.6% average) while Caladan loses 16.1% on average and
+    32.1% at most; Arachne and CFS blow past 10 ms tails at tiny loads.
+    With Silo, reallocation costs amortize and Caladan ~ VESSEL. *)
+
+type row = {
+  system : Runner.sched_kind;
+  load_fraction : float;
+  offered_rps : float;
+  achieved_rps : float;
+  normalized_total : float;
+  b_normalized : float;
+  p999_us : float;
+}
+
+val run :
+  ?seed:int ->
+  ?cores:int ->
+  ?systems:Runner.sched_kind list ->
+  ?fractions:float list ->
+  l_app:Runner.l_app ->
+  unit ->
+  row list
+(** Arachne and CFS are driven only up to the low loads the paper could
+    drive them to (fractions are capped at 0.25 and 0.08 of capacity
+    respectively, mirroring 1 Mops / 0.3 Mops out of ~16). *)
+
+val print : l_app:Runner.l_app -> row list -> unit
+
+val vessel_vs_caladan_p999 : row list -> float option
+(** Relative p999 reduction of VESSEL vs Caladan at the highest common
+    load, the paper's 42.1% headline. *)

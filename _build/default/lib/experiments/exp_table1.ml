@@ -1,0 +1,88 @@
+module Sim = Vessel_engine.Sim
+module S = Vessel_sched
+module W = Vessel_workloads
+module Stats = Vessel_stats
+
+type row = {
+  system : string;
+  avg_us : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  p999_us : float;
+  switches : int;
+}
+
+let measure ~seed ~duration kind =
+  let b = Runner.build ~seed ~cores:1 kind in
+  let _ta, _tb, _handoffs =
+    W.Synth.pingpong_pair ~sim:b.Runner.sim ~sys:b.Runner.sys ~app_ids:(1, 2) ()
+  in
+  b.Runner.sys.S.Sched_intf.start ();
+  ignore
+    (Sim.schedule b.Runner.sim ~at:1_000 (fun _ ->
+         b.Runner.sys.S.Sched_intf.notify_app ~app_id:1));
+  Sim.run_until b.Runner.sim duration;
+  b.Runner.sys.S.Sched_intf.stop ();
+  let h =
+    match b.Runner.sys.S.Sched_intf.switch_latencies () with
+    | Some h -> h
+    | None -> invalid_arg "Exp_table1: system reports no switch latencies"
+  in
+  let p x = float_of_int (Stats.Histogram.percentile h x) /. 1e3 in
+  {
+    system = Runner.sched_name kind;
+    avg_us = Stats.Histogram.mean h /. 1e3;
+    p50_us = p 50.;
+    p90_us = p 90.;
+    p99_us = p 99.;
+    p999_us = p 99.9;
+    switches = Stats.Histogram.count h;
+  }
+
+let run ?(seed = 42) ?(duration = 50_000_000) () =
+  [
+    measure ~seed ~duration Runner.Vessel;
+    measure ~seed ~duration Runner.Caladan;
+  ]
+
+let signal_paths () =
+  let c = Vessel_hw.Cost_model.default in
+  let open Vessel_hw.Cost_model in
+  [
+    ( "Uintr (senduipi -> handler entry)",
+      c.senduipi + c.uintr_delivery + c.uintr_handler_entry );
+    ( "kernel signal (ioctl -> IPI -> trap -> SIGUSR)",
+      c.ioctl + c.ipi_flight + c.kernel_signal );
+  ]
+
+let print rows =
+  Report.section "Table 1: latency of core reallocation (us)";
+  Report.paper_note
+    "VESSEL 0.161 avg / 0.160 p50 / 0.162 p90 / 0.173 p99 / 0.706 p999; \
+     Caladan 2.103 / 2.063 / 2.091 / 2.420 / 5.461";
+  let t =
+    Stats.Table.create
+      ~columns:[ "system"; "avg"; "p50"; "p90"; "p99"; "p999"; "switches" ]
+  in
+  List.iter
+    (fun r ->
+      Stats.Table.add_row t
+        [
+          r.system;
+          Report.f2 r.avg_us;
+          Report.f2 r.p50_us;
+          Report.f2 r.p90_us;
+          Report.f2 r.p99_us;
+          Report.f2 r.p999_us;
+          string_of_int r.switches;
+        ])
+    rows;
+  Report.table t;
+  (match signal_paths () with
+  | [ (un, u); (kn, k) ] ->
+      Report.kv "signal delivery"
+        (Printf.sprintf "%s = %dns vs %s = %dns (%.1fx; paper: up to 15x)" un u
+           kn k
+           (float_of_int k /. float_of_int u))
+  | _ -> ())

@@ -1,0 +1,14 @@
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let paper_note s = Printf.printf "paper: %s\n" s
+
+let table t = Vessel_stats.Table.print t
+
+let kv k v = Printf.printf "%s: %s\n" k v
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let us x = Printf.sprintf "%.1fus" x
+let mops x = Printf.sprintf "%.2fMops" (x /. 1e6)

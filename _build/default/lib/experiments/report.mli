@@ -1,0 +1,19 @@
+(** Uniform output for the figure/table reproductions. *)
+
+val section : string -> unit
+(** Banner with the experiment id and title. *)
+
+val paper_note : string -> unit
+(** One line stating what the paper reports for this figure, for eyeball
+    comparison. *)
+
+val table : Vessel_stats.Table.t -> unit
+
+val kv : string -> string -> unit
+(** One "key: value" line. *)
+
+val f2 : float -> string
+val f1 : float -> string
+val us : float -> string
+val mops : float -> string
+(** requests/s as "N.NN Mops". *)

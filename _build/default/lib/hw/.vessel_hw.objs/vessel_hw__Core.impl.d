@@ -1,0 +1,1 @@
+lib/hw/core.ml: Format Pkru Umwait Vessel_engine Vessel_stats

@@ -1,0 +1,1 @@
+lib/hw/core.mli: Format Pkru Umwait Vessel_engine Vessel_stats

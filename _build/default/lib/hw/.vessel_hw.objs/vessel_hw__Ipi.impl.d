@@ -1,0 +1,1 @@
+lib/hw/ipi.ml: Cost_model Vessel_engine

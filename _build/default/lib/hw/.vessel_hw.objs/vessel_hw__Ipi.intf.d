@@ -1,0 +1,1 @@
+lib/hw/ipi.mli: Cost_model Vessel_engine

@@ -1,0 +1,1 @@
+lib/hw/machine.ml: Array Cache Core Cost_model Ipi Lazy List Membw Uintr Vessel_engine Vessel_stats

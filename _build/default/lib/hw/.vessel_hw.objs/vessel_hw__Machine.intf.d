@@ -1,0 +1,1 @@
+lib/hw/machine.mli: Cache Core Cost_model Ipi Membw Uintr Vessel_engine Vessel_stats

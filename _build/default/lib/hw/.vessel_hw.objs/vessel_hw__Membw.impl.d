@@ -1,0 +1,1 @@
+lib/hw/membw.ml: Float Hashtbl List Vessel_engine

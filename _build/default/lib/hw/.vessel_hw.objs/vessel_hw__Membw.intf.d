@@ -1,0 +1,1 @@
+lib/hw/membw.mli: Vessel_engine

@@ -1,0 +1,1 @@
+lib/hw/page.ml: Format Pkey Pkru

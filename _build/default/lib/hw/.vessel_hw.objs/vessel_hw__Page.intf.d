@@ -1,0 +1,1 @@
+lib/hw/page.mli: Format Pkey Pkru

@@ -1,0 +1,1 @@
+lib/hw/pkru.mli: Format Pkey

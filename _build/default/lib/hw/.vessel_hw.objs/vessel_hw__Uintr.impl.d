@@ -1,0 +1,1 @@
+lib/hw/uintr.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/hw/umwait.ml: Vessel_engine

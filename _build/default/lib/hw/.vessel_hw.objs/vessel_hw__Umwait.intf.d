@@ -1,0 +1,1 @@
+lib/hw/umwait.mli: Vessel_engine

@@ -1,0 +1,14 @@
+module Sim = Vessel_engine.Sim
+
+type t = { sim : Sim.t; cost : Cost_model.t; mutable sent : int }
+
+let create sim cost = { sim; cost; sent = 0 }
+
+let send t ~to_core:_ ~on_deliver =
+  t.sent <- t.sent + 1;
+  let delay = t.cost.Cost_model.ioctl + t.cost.Cost_model.ipi_flight in
+  ignore (Sim.schedule_after t.sim ~delay on_deliver)
+
+let send_cost t = t.cost.Cost_model.ioctl
+let flight_time t = t.cost.Cost_model.ipi_flight
+let sent t = t.sent

@@ -1,0 +1,25 @@
+(** Kernel-mediated inter-processor interrupts.
+
+    The baseline schedulers (Caladan, CFS) preempt via the kernel: the
+    sender pays a syscall (ioctl), the interrupt flies for
+    [Cost_model.ipi_flight], and the victim then executes its kernel
+    preemption path. This module models only send-and-deliver; the victim's
+    kernel path is charged by the scheduler that requested the IPI. *)
+
+type t
+
+val create : Vessel_engine.Sim.t -> Cost_model.t -> t
+
+val send :
+  t -> to_core:int -> on_deliver:(Vessel_engine.Sim.t -> unit) -> unit
+(** Schedule [on_deliver] after [ioctl + ipi_flight]. The sender-side cost
+    (ioctl) is also returned to the caller via {!send_cost} so it can be
+    charged to the scheduler core. *)
+
+val send_cost : t -> int
+(** Sender-side busy time (the ioctl syscall). *)
+
+val flight_time : t -> int
+
+val sent : t -> int
+(** Number of IPIs sent so far (observability for tests/experiments). *)

@@ -1,0 +1,62 @@
+module Sim = Vessel_engine.Sim
+module Rng = Vessel_engine.Rng
+module Trace = Vessel_engine.Trace
+
+type t = {
+  sim : Sim.t;
+  cost : Cost_model.t;
+  cores : Core.t array;
+  membw : Membw.t;
+  cache : Cache.t;
+  uintr : Uintr.t;
+  ipi : Ipi.t;
+  trace : Trace.t;
+  mutable dispatch : (Uintr.receiver -> unit) list;
+}
+
+let create ?(cost = Cost_model.default) ?membw ?cache ~cores:n sim =
+  if n <= 0 then invalid_arg "Machine.create: need at least one core";
+  let root = Sim.rng sim in
+  let cores = Array.init n (fun id -> Core.create ~id ~rng:(Rng.split root)) in
+  let membw = match membw with Some m -> m | None -> Membw.create () in
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let rec t =
+    lazy
+      {
+        sim;
+        cost;
+        cores;
+        membw;
+        cache;
+        uintr =
+          Uintr.create ~notify:(fun r ->
+              List.iter (fun f -> f r) (Lazy.force t).dispatch);
+        ipi = Ipi.create sim cost;
+        trace = Trace.create ();
+        dispatch = [];
+      }
+  in
+  Lazy.force t
+
+let sim t = t.sim
+let cost t = t.cost
+let cores t = t.cores
+let core t i = t.cores.(i)
+let ncores t = Array.length t.cores
+let membw t = t.membw
+let cache t = t.cache
+let uintr t = t.uintr
+let ipi t = t.ipi
+let trace t = t.trace
+let now t = Sim.now t.sim
+
+let set_uintr_dispatch t f = t.dispatch <- f :: t.dispatch
+
+let jitter t core base = Cost_model.jittered t.cost (Core.rng core) base
+
+let total_account t =
+  let acc = Vessel_stats.Cycle_account.create () in
+  Array.iter
+    (fun c -> Vessel_stats.Cycle_account.merge ~into:acc (Core.account c))
+    t.cores;
+  acc

@@ -1,0 +1,76 @@
+type vector = int
+
+type receiver = {
+  id : int;
+  mutable pir : int64; (* posted-interrupt requests, bit per vector *)
+  mutable running : bool;
+  mutable suppressed : bool;
+}
+
+type entry = { target : receiver; vector : vector }
+
+type uitt = { entries : entry option array }
+
+type t = { notify : receiver -> unit; mutable receivers : receiver list }
+
+let create ~notify = { notify; receivers = [] }
+
+let register_receiver t ~id =
+  let r = { id; pir = 0L; running = false; suppressed = false } in
+  t.receivers <- r :: t.receivers;
+  r
+
+let receiver_id r = r.id
+
+let create_uitt _t ~size =
+  if size <= 0 then invalid_arg "Uintr.create_uitt: size must be positive";
+  { entries = Array.make size None }
+
+let uitt_set uitt ~index r ~vector =
+  if index < 0 || index >= Array.length uitt.entries then
+    invalid_arg "Uintr.uitt_set: index out of range";
+  if vector < 0 || vector > 63 then
+    invalid_arg "Uintr.uitt_set: vector must be in [0,63]";
+  uitt.entries.(index) <- Some { target = r; vector }
+
+let post r vector = r.pir <- Int64.logor r.pir (Int64.shift_left 1L vector)
+
+let senduipi t uitt ~index =
+  if index < 0 || index >= Array.length uitt.entries then
+    invalid_arg "Uintr.senduipi: index out of range";
+  match uitt.entries.(index) with
+  | None -> invalid_arg "Uintr.senduipi: empty UITT entry"
+  | Some { target; vector } ->
+      post target vector;
+      if target.running && not target.suppressed then begin
+        t.notify target;
+        `Notified
+      end
+      else `Deferred
+
+let set_running t r running =
+  let was = r.running in
+  r.running <- running;
+  if running && (not was) && (not r.suppressed) && r.pir <> 0L then
+    t.notify r
+
+let is_running r = r.running
+
+let set_suppressed t r suppressed =
+  let was = r.suppressed in
+  r.suppressed <- suppressed;
+  if was && (not suppressed) && r.running && r.pir <> 0L then t.notify r
+
+let take_pending r =
+  let pir = r.pir in
+  r.pir <- 0L;
+  let rec go v acc =
+    if v > 63 then List.rev acc
+    else begin
+      let bit = Int64.logand pir (Int64.shift_left 1L v) in
+      go (v + 1) (if bit <> 0L then v :: acc else acc)
+    end
+  in
+  go 0 []
+
+let has_pending r = r.pir <> 0L

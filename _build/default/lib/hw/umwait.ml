@@ -1,0 +1,25 @@
+type t = {
+  mutable since : Vessel_engine.Time.t option;
+  mutable total : Vessel_engine.Time.t;
+  mutable wakes : int;
+}
+
+let create () = { since = None; total = 0; wakes = 0 }
+
+let enter t ~at =
+  match t.since with
+  | Some _ -> invalid_arg "Umwait.enter: already idle"
+  | None -> t.since <- Some at
+
+let wake t ~at =
+  match t.since with
+  | None -> invalid_arg "Umwait.wake: not idle"
+  | Some s ->
+      if at < s then invalid_arg "Umwait.wake: time went backwards";
+      t.total <- t.total + (at - s);
+      t.wakes <- t.wakes + 1;
+      t.since <- None
+
+let is_idle t = t.since <> None
+let total_idle t = t.total
+let wakes t = t.wakes

@@ -1,0 +1,22 @@
+(** UMWAIT-style light idle states (footnote 3 of the paper).
+
+    A core with no runnable work enters a monitored light-sleep; waking
+    costs [Cost_model.umwait_wake]. This module tracks idle episodes so
+    experiments can report idle time and wake counts. *)
+
+type t
+
+val create : unit -> t
+
+val enter : t -> at:Vessel_engine.Time.t -> unit
+(** Begin an idle episode. Raises if already idle. *)
+
+val wake : t -> at:Vessel_engine.Time.t -> unit
+(** End the episode. Raises if not idle. *)
+
+val is_idle : t -> bool
+
+val total_idle : t -> Vessel_engine.Time.t
+(** Completed episodes only. *)
+
+val wakes : t -> int

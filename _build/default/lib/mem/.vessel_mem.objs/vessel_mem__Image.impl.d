@@ -1,0 +1,1 @@
+lib/mem/image.ml: Bytes Char List Printf Vessel_engine Vessel_hw

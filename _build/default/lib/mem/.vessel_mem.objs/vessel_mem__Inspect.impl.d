@@ -1,0 +1,1 @@
+lib/mem/inspect.ml: Bytes Image List Printf

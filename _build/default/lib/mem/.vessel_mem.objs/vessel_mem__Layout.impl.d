@@ -1,0 +1,1 @@
+lib/mem/layout.ml: Addr Array Format List Printf Region Vessel_hw

@@ -1,0 +1,1 @@
+lib/mem/loader.ml: Addr Allocator Bytes Format Image Inspect Layout List Region Smas String Vessel_engine Vessel_hw

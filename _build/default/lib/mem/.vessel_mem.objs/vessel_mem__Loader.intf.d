@@ -1,0 +1,1 @@
+lib/mem/loader.mli: Addr Allocator Format Image Smas Vessel_engine

@@ -1,0 +1,1 @@
+lib/mem/region.ml: Addr Format Vessel_hw

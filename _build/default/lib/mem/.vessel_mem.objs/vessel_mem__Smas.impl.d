@@ -1,0 +1,1 @@
+lib/mem/smas.ml: Bytes Hashtbl Layout List Printf Region Vessel_hw

@@ -1,0 +1,1 @@
+lib/mem/smas.mli: Addr Layout Vessel_hw

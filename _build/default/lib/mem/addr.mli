@@ -1,0 +1,20 @@
+(** Virtual address arithmetic helpers. Addresses are plain ints (byte
+    offsets in the simulated 48-bit canonical space). *)
+
+type t = int
+
+val align_up : t -> int -> t
+(** [align_up a n] rounds up to a multiple of [n] ([n] a power of two). *)
+
+val align_down : t -> int -> t
+
+val is_aligned : t -> int -> bool
+
+val page_align_up : t -> t
+val page_align_down : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering. *)
+
+val kib : int -> int
+val mib : int -> int

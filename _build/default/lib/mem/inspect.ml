@@ -1,0 +1,28 @@
+let scan b =
+  let n = Bytes.length b in
+  let rec go i acc =
+    if i + 3 > n then List.rev acc
+    else if
+      Bytes.get b i = '\x0f'
+      && Bytes.get b (i + 1) = '\x01'
+      && Bytes.get b (i + 2) = '\xef'
+    then go (i + 1) (i :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let validate b = match scan b with [] -> Ok () | offs -> Error offs
+
+let validate_image (img : Image.t) =
+  if not img.Image.pie then
+    Error
+      (Printf.sprintf
+         "%s: position-dependent executable; SMAS loading requires PIE"
+         img.Image.name)
+  else
+    match scan img.Image.text with
+    | [] -> Ok ()
+    | offs ->
+        Error
+          (Printf.sprintf "%s: %d illegal WRPKRU instruction(s), first at +%d"
+             img.Image.name (List.length offs) (List.hd offs))

@@ -1,0 +1,19 @@
+(** Static code inspection for illegal WRPKRU instructions.
+
+    ERIM-style binary scanning (sections 4.2 and 5.2.1): before any code
+    becomes executable inside SMAS, its bytes are scanned for the WRPKRU
+    encoding. Only the call gate (trusted runtime text) may contain it; a
+    uProcess image containing the opcode is rejected at load time, and
+    dlopen-style on-demand loading re-runs the same scan. *)
+
+val scan : bytes -> int list
+(** Offsets of every WRPKRU occurrence, ascending. Overlapping occurrences
+    are all reported. *)
+
+val validate : bytes -> (unit, int list) result
+(** [Ok ()] iff no occurrence. *)
+
+val validate_image : Image.t -> (unit, string) result
+(** Image-level check with a diagnostic message: rejects non-PIE images
+    (section 5.3: "uProcess only supports ... PIE") and images whose text
+    contains WRPKRU. *)

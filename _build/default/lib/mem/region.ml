@@ -1,0 +1,35 @@
+type kind =
+  | Uprocess_data
+  | Uprocess_text
+  | Runtime_data
+  | Runtime_text
+  | Message_pipe
+
+type t = { name : string; base : Addr.t; len : int; kind : kind; pkey : Vessel_hw.Pkey.t }
+
+let make ~name ~base ~len ~kind ~pkey =
+  if len <= 0 then invalid_arg "Region.make: len must be positive";
+  if not (Addr.is_aligned base Vessel_hw.Page.size) then
+    invalid_arg "Region.make: base must be page-aligned";
+  if not (Addr.is_aligned len Vessel_hw.Page.size) then
+    invalid_arg "Region.make: len must be page-aligned";
+  { name; base; len; kind; pkey }
+
+let end_ t = t.base + t.len
+let contains t a = a >= t.base && a < end_ t
+
+let contains_range t ~addr ~len =
+  len >= 0 && addr >= t.base && addr + len <= end_ t
+
+let overlaps a b = a.base < end_ b && b.base < end_ a
+
+let kind_name = function
+  | Uprocess_data -> "uproc-data"
+  | Uprocess_text -> "uproc-text"
+  | Runtime_data -> "runtime-data"
+  | Runtime_text -> "runtime-text"
+  | Message_pipe -> "message-pipe"
+
+let pp fmt t =
+  Format.fprintf fmt "%s[%a+%#x %s %a]" t.name Addr.pp t.base t.len
+    (kind_name t.kind) Vessel_hw.Pkey.pp t.pkey

@@ -1,0 +1,26 @@
+(** A named range of the shared memory address space with its protection
+    key and role (Figure 5 of the paper). *)
+
+type kind =
+  | Uprocess_data  (** data + stack + heap of one uProcess slot *)
+  | Uprocess_text  (** executable-only text of one uProcess slot *)
+  | Runtime_data  (** privileged runtime data, key 14 *)
+  | Runtime_text  (** runtime + call-gate code, executable-only *)
+  | Message_pipe  (** runtime->uProcess channel, key 15 *)
+
+type t = { name : string; base : Addr.t; len : int; kind : kind; pkey : Vessel_hw.Pkey.t }
+
+val make :
+  name:string -> base:Addr.t -> len:int -> kind:kind -> pkey:Vessel_hw.Pkey.t -> t
+(** Base and length must be page-aligned and positive. *)
+
+val end_ : t -> Addr.t
+(** One past the last byte. *)
+
+val contains : t -> Addr.t -> bool
+
+val contains_range : t -> addr:Addr.t -> len:int -> bool
+
+val overlaps : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(** The shared memory address space of one scheduling domain.
+
+    Combines the {!Layout} with a page table and a sparse byte store.
+    Every access runs the full hardware check (page permission bits, then
+    MPK against the supplied PKRU), so tests and the uProcess runtime
+    exercise real isolation rather than assume it.
+
+    The manager maps the privileged regions at creation:
+    - runtime data: RW pages, key 14;
+    - runtime text: execute-only pages, key 14;
+    - message pipe: RW pages, key 15 — uProcesses receive read-only access
+      through their PKRU image, the runtime full access. *)
+
+type t
+
+val create : Layout.t -> t
+
+val layout : t -> Layout.t
+val page_table : t -> Vessel_hw.Page_table.t
+
+val attach_slot_data : t -> int -> unit
+(** Map slot [i]'s data region (RW pages, slot key). Idempotent. *)
+
+val pkru_for_slot : t -> int -> Vessel_hw.Pkru.t
+(** The PKRU image a thread of uProcess slot [i] runs with: its own key
+    read-write, the message pipe read-only, everything else denied. *)
+
+val pkru_runtime : t -> Vessel_hw.Pkru.t
+(** Privileged mode: every SMAS key read-write (keys 1..15). *)
+
+(* Checked accesses — the instruction-level view. *)
+
+val read :
+  t -> pkru:Vessel_hw.Pkru.t -> addr:Addr.t -> len:int ->
+  (bytes, Addr.t * Vessel_hw.Page.fault) result
+
+val write :
+  t -> pkru:Vessel_hw.Pkru.t -> addr:Addr.t -> bytes ->
+  (unit, Addr.t * Vessel_hw.Page.fault) result
+
+val fetch :
+  t -> addr:Addr.t -> len:int -> (unit, Addr.t * Vessel_hw.Page.fault) result
+(** Instruction fetch: page X bit only, PKRU not consulted. *)
+
+(* Privileged backdoor for the manager/loader (models ring-0 writes that
+   set the space up before any uProcess runs). *)
+
+val priv_write : t -> addr:Addr.t -> bytes -> unit
+(** Raises [Invalid_argument] if the range is not mapped. *)
+
+val priv_read : t -> addr:Addr.t -> len:int -> bytes
+
+val release_range : t -> addr:Addr.t -> len:int -> unit
+(** Scrub (zero) and unmap every page overlapping the range — the
+    manager reclaiming a dead uProcess's regions. Pages outside the range
+    are untouched; unmapped pages in the range are ignored. *)
+
+val detach_slot_data : t -> int -> unit
+(** Forget the slot-attached marker so a future tenant re-attaches. *)

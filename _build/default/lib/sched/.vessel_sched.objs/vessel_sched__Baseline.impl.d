@@ -1,0 +1,1 @@
+lib/sched/baseline.ml: Array Hashtbl List Option Printf Sched_intf Vessel_engine Vessel_hw Vessel_stats Vessel_uprocess

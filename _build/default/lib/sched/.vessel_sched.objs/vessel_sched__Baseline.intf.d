@@ -1,0 +1,1 @@
+lib/sched/baseline.mli: Sched_intf Vessel_hw Vessel_uprocess

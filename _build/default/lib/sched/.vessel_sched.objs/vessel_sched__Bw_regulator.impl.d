@@ -1,0 +1,1 @@
+lib/sched/bw_regulator.ml: Cgroup Float Vessel_engine Vessel_hw

@@ -1,0 +1,1 @@
+lib/sched/bw_regulator.mli: Vessel_engine Vessel_hw Vessel_uprocess

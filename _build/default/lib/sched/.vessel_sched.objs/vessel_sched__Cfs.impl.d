@@ -1,0 +1,1 @@
+lib/sched/cfs.ml: Array Float Hashtbl List Printf Sched_intf Vessel_engine Vessel_hw Vessel_stats Vessel_uprocess

@@ -1,0 +1,1 @@
+lib/sched/cfs.mli: Sched_intf Vessel_hw Vessel_uprocess

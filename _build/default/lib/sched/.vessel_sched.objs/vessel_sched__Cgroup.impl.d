@@ -1,0 +1,1 @@
+lib/sched/cgroup.ml: Float Vessel_engine Vessel_uprocess

@@ -1,0 +1,1 @@
+lib/sched/cgroup.mli: Vessel_engine Vessel_uprocess

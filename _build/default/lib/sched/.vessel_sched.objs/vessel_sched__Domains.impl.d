@@ -1,0 +1,1 @@
+lib/sched/domains.ml: Array Hashtbl List Printf Sched_intf Vessel Vessel_hw Vessel_stats

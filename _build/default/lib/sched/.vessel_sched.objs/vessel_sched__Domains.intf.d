@@ -1,0 +1,1 @@
+lib/sched/domains.mli: Sched_intf Vessel Vessel_hw

@@ -1,0 +1,1 @@
+lib/sched/sched_intf.ml: Vessel_engine Vessel_stats Vessel_uprocess

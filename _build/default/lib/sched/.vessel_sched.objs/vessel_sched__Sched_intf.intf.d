@@ -1,0 +1,1 @@
+lib/sched/sched_intf.mli: Vessel_engine Vessel_stats Vessel_uprocess

@@ -1,0 +1,1 @@
+lib/sched/vessel.ml: Array Format Fun Hashtbl List Printf Sched_intf Vessel_engine Vessel_hw Vessel_mem Vessel_uprocess

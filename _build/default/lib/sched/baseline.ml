@@ -1,0 +1,552 @@
+module Sim = Vessel_engine.Sim
+module Hw = Vessel_hw
+module U = Vessel_uprocess
+module Stats = Vessel_stats
+module Cost_model = Hw.Cost_model
+
+type grant_policy =
+  | Delay_based of { hi : int; lo : int }
+  | Utilization_based of { grow_above : float; shrink_below : float }
+
+type profile = {
+  prof_name : string;
+  realloc_interval : int;
+  steal_spin : int;
+  green_switch : int;
+  policy : grant_policy;
+  preempt_be : bool;
+  grant_on_notify : bool;
+}
+
+(* Base Caladan reallocates cores between applications every 10 us
+   (section 2.1); the Delay-Range variants run the finer queueing-delay
+   check of McClure et al., where the [hi] threshold gates how eagerly a
+   best-effort core is reclaimed: a low range reacts fast (better tails,
+   more kernel switches), a high range waits (fewer switches, longer
+   tails). *)
+let caladan =
+  {
+    prof_name = "caladan";
+    realloc_interval = 10_000;
+    steal_spin = 2_000;
+    green_switch = 150;
+    policy = Delay_based { hi = 2_000; lo = 500 };
+    preempt_be = true;
+    grant_on_notify = true;
+  }
+
+let caladan_dr_l =
+  {
+    caladan with
+    prof_name = "caladan-dr-l";
+    realloc_interval = 5_000;
+    policy = Delay_based { hi = 800; lo = 400 };
+    steal_spin = 1_000;
+  }
+
+let caladan_dr_h =
+  {
+    caladan with
+    prof_name = "caladan-dr-h";
+    realloc_interval = 10_000;
+    policy = Delay_based { hi = 4_000; lo = 1_000 };
+    steal_spin = 4_000;
+  }
+
+let arachne =
+  {
+    prof_name = "arachne";
+    realloc_interval = 2_000_000;
+    steal_spin = 0;
+    green_switch = 300;
+    policy = Utilization_based { grow_above = 0.8; shrink_below = 0.4 };
+    preempt_be = true;
+    grant_on_notify = false;
+  }
+
+type app_state = {
+  spec : Sched_intf.app_spec;
+  queue : U.Task_queue.t;
+  mutable workers : U.Uthread.t list;
+  mutable granted : int;
+  mutable busy_snapshot : int; (* sum of worker app_ns at the last pass *)
+}
+
+type t = {
+  machine : Hw.Machine.t;
+  profile : profile;
+  mutable exec : U.Exec.t option;
+  apps : (int, app_state) Hashtbl.t;
+  mutable app_order : int list; (* registration order, LC sorted first *)
+  owner : int option array; (* core -> app id *)
+  stint_start : int array; (* when the owner acquired the core *)
+  last_app : int option array;
+  spun : bool array;
+  spin_threads : U.Uthread.t option array;
+  park_hist : Stats.Histogram.t;
+  mutable next_tid : int;
+  mutable reallocs : int;
+  mutable running : bool;
+}
+
+let get_exec t = match t.exec with Some e -> e | None -> assert false
+let ncores t = Hw.Machine.ncores t.machine
+let now t = Hw.Machine.now t.machine
+
+let app_state t id =
+  match Hashtbl.find_opt t.apps id with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Baseline: unknown app %d" id)
+
+let fresh_tid t =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  tid
+
+(* The per-core steal loop: burn [steal_spin] in the runtime, then park.
+   pick_next hands this thread out once per dry spell. *)
+let spin_thread t ~core =
+  match t.spin_threads.(core) with
+  | Some th -> th
+  | None ->
+      let spinning = ref false in
+      let th =
+        U.Uthread.create ~tid:(fresh_tid t) ~app:(-1) ~uproc:(-1)
+          ~name:(Printf.sprintf "steal-loop-%d" core)
+          ~priority:U.Uthread.Best_effort
+          ~step:(fun ~now:_ ->
+            if !spinning then begin
+              spinning := false;
+              U.Uthread.Park
+            end
+            else begin
+              spinning := true;
+              U.Uthread.Runtime_work { ns = t.profile.steal_spin; on_complete = None }
+            end)
+          ()
+      in
+      t.spin_threads.(core) <- Some th;
+      th
+
+let is_spin th = U.Uthread.app th = -1
+
+let rec pop_live q =
+  match U.Task_queue.pop q with
+  | None -> None
+  | Some (th, _) ->
+      if U.Uthread.state th = U.Uthread.Exited then pop_live q else Some th
+
+(* The busy-polling IOKernel sees every queue: when a core frees up, it
+   regrants it to the app with the oldest waiting work, latency-critical
+   apps first (the cross-app switch cost is charged by switch_overhead —
+   the 2.1 us park-based reallocation of Table 1). *)
+let needy_app ?except ?(lc_only = false) t =
+  let best = ref None in
+  let consider class_wanted id =
+    let a = app_state t id in
+    if Some id <> except && a.spec.Sched_intf.class_ = class_wanted then begin
+      let len = U.Task_queue.length a.queue in
+      if len > 0 then begin
+        let delay = U.Task_queue.head_delay a.queue ~now:(now t) in
+        match !best with
+        | Some (_, d) when d >= delay -> ()
+        | _ -> best := Some (id, delay)
+      end
+    end
+  in
+  List.iter (consider Sched_intf.Latency_critical) t.app_order;
+  if (not lc_only) && !best = None then
+    List.iter (consider Sched_intf.Best_effort) t.app_order;
+  Option.map fst !best
+
+(* Who may take the core from [app] when its stint expires: anyone if the
+   owner is best-effort, only latency-critical peers otherwise — Caladan
+   never rotates a latency-critical core out for best-effort work. *)
+let rotation_candidate t ~owner =
+  let lc_only =
+    (app_state t owner).spec.Sched_intf.class_ = Sched_intf.Latency_critical
+  in
+  needy_app ~except:owner ~lc_only t
+
+let acquire t ~core app =
+  let a = app_state t app in
+  t.owner.(core) <- Some app;
+  t.stint_start.(core) <- now t;
+  a.granted <- a.granted + 1
+
+let release t ~core app =
+  let a = app_state t app in
+  t.spun.(core) <- false;
+  t.owner.(core) <- None;
+  a.granted <- a.granted - 1
+
+let rec pick_next t ~core =
+  match t.owner.(core) with
+  | None -> (
+      (* Unowned core polled awake: the IOKernel hands it to whoever
+         needs it. *)
+      match needy_app t with
+      | None -> None
+      | Some app ->
+          acquire t ~core app;
+          pick_next t ~core)
+  | Some app -> (
+      let a = app_state t app in
+      (* Fairness: the IOKernel rebalances cores between applications
+         every [realloc_interval]; an owner whose stint has expired loses
+         the core if anyone else is waiting. *)
+      if
+        now t - t.stint_start.(core) >= t.profile.realloc_interval
+        && rotation_candidate t ~owner:app <> None
+      then begin
+        release t ~core app;
+        match needy_app t with
+        | None -> None
+        | Some app2 ->
+            acquire t ~core app2;
+            pick_next t ~core
+      end
+      else
+        match pop_live a.queue with
+        | Some th ->
+            t.spun.(core) <- false;
+            Some th
+        | None ->
+            if t.profile.steal_spin > 0 && not t.spun.(core) then begin
+              t.spun.(core) <- true;
+              Some (spin_thread t ~core)
+            end
+            else begin
+              (* Out of work: release the core, which is immediately
+                 regranted if anyone is waiting. *)
+              release t ~core app;
+              match needy_app t with
+              | None -> None
+              | Some app2 ->
+                  acquire t ~core app2;
+                  pick_next t ~core
+            end)
+
+let cross_app_switch t core =
+  let c = Hw.Machine.cost t.machine in
+  let ns = Hw.Machine.jitter t.machine core (Cost_model.caladan_park_switch c) in
+  Stats.Histogram.record t.park_hist ns;
+  ns
+
+let switch_overhead t ~core ~kind ~next =
+  let c = Hw.Machine.cost t.machine in
+  let core_id = Hw.Core.id core in
+  let next_app =
+    match next with
+    | Some th when not (is_spin th) -> Some (U.Uthread.app th)
+    | Some _ -> t.last_app.(core_id) (* the steal loop stays in-app *)
+    | None -> None
+  in
+  let same_app = next_app <> None && next_app = t.last_app.(core_id) in
+  match kind with
+  | U.Exec.Initial | U.Exec.Idle_wake | U.Exec.Park_switch | U.Exec.Exit_switch
+    -> (
+      match next_app with
+      | None -> Hw.Machine.jitter t.machine core t.profile.green_switch
+      | Some _ ->
+          if same_app then Hw.Machine.jitter t.machine core t.profile.green_switch
+          else begin
+            t.reallocs <- t.reallocs + 1;
+            cross_app_switch t core
+          end)
+  | U.Exec.Preempt_switch ->
+      if same_app then
+        (* Aborting the steal loop for freshly arrived work of the same
+           app: a user-level transition. *)
+        Hw.Machine.jitter t.machine core t.profile.green_switch
+      else begin
+        (* The victim-side kernel path past the signal handler; the
+           handler cost itself arrives as the preempt extra (see
+           preempt_for). *)
+        t.reallocs <- t.reallocs + 1;
+        Hw.Machine.jitter t.machine core
+          (c.Cost_model.kernel_switch + c.Cost_model.page_table_switch
+         + c.Cost_model.kernel_restore)
+      end
+
+let on_run t ~core th =
+  if not (is_spin th) then begin
+    (* A cross-application landing starts a fresh ownership stint. *)
+    if t.last_app.(core) <> Some (U.Uthread.app th) then
+      t.stint_start.(core) <- now t;
+    t.last_app.(core) <- Some (U.Uthread.app th)
+  end
+
+let on_preempted t ~core:_ th =
+  if is_spin th then U.Uthread.discard_remainder th
+  else begin
+    let a = app_state t (U.Uthread.app th) in
+    U.Task_queue.push a.queue th ~now:(now t)
+  end
+
+(* --- the scheduler entity (IOKernel / core arbiter) --- *)
+
+let free_core t =
+  let rec go core =
+    if core >= ncores t then None
+    else if t.owner.(core) = None then Some core
+    else go (core + 1)
+  in
+  go 0
+
+let be_owned_core t =
+  let rec go core =
+    if core >= ncores t then None
+    else
+      match t.owner.(core) with
+      | Some app
+        when (app_state t app).spec.Sched_intf.class_ = Sched_intf.Best_effort
+        ->
+          Some core
+      | _ -> go (core + 1)
+  in
+  go 0
+
+let grant t ~app ~core =
+  acquire t ~core app;
+  U.Exec.notify (get_exec t) ~core
+
+(* IPI-preempt [core] and hand it to [app]: the Figure-3 path. The ioctl +
+   IPI flight elapse before the victim reacts; the victim then pays the
+   kernel signal + state save as preempt overhead, and the kernel
+   switch/page-table/restore path as the Preempt_switch cost. *)
+let preempt_stages_of c =
+  Cost_model.caladan_preempt_stages c
+
+let preempt_for t ~app ~core =
+  let c = Hw.Machine.cost t.machine in
+  (match t.owner.(core) with
+  | Some prev ->
+      let pa = app_state t prev in
+      pa.granted <- pa.granted - 1
+  | None -> ());
+  acquire t ~core app;
+  t.spun.(core) <- false;
+  Hw.Ipi.send (Hw.Machine.ipi t.machine) ~to_core:core
+    ~on_deliver:(fun _ ->
+      U.Exec.preempt (get_exec t) ~core
+        ~overhead:(c.Cost_model.kernel_signal + c.Cost_model.user_save_state))
+
+(* (cores wanted, may they be taken from best-effort apps) *)
+let demand t a =
+  match t.profile.policy with
+  | Delay_based { hi; _ } ->
+      let delay = U.Task_queue.head_delay a.queue ~now:(now t) in
+      if delay > hi || (a.granted = 0 && U.Task_queue.length a.queue > 0) then
+        max 1 (U.Task_queue.length a.queue)
+      else 0
+  | Utilization_based { grow_above; shrink_below = _ } ->
+      let busy = List.fold_left (fun acc th -> acc + U.Uthread.total_app_ns th) 0 a.workers in
+      let delta = busy - a.busy_snapshot in
+      a.busy_snapshot <- busy;
+      let capacity = max 1 (a.granted * t.profile.realloc_interval) in
+      let util = float_of_int delta /. float_of_int capacity in
+      if a.granted = 0 && U.Task_queue.length a.queue > 0 then 1
+      else if util > grow_above then 1
+      else 0
+
+let scheduler_pass t =
+  (* Fairness rotation: preempt cores whose owner's stint expired while
+     other applications wait — the expensive Figure-3 path, paid every
+     realloc_interval under dense colocation. *)
+  for core = 0 to ncores t - 1 do
+    match t.owner.(core) with
+    | Some app
+      when now t - t.stint_start.(core) >= t.profile.realloc_interval -> (
+        match rotation_candidate t ~owner:app with
+        | Some app2 -> preempt_for t ~app:app2 ~core
+        | None -> ())
+    | _ -> ()
+  done;
+  (* Latency-critical apps first, then best-effort backfill. *)
+  let classed c =
+    List.filter
+      (fun id -> (app_state t id).spec.Sched_intf.class_ = c)
+      t.app_order
+  in
+  List.iter
+    (fun id ->
+      let a = app_state t id in
+      let want = demand t a in
+      let rec grant_loop n =
+        if n > 0 then
+          match free_core t with
+          | Some core ->
+              grant t ~app:id ~core;
+              grant_loop (n - 1)
+          | None -> (
+              if t.profile.preempt_be then
+                match be_owned_core t with
+                | Some core -> preempt_for t ~app:id ~core
+                | None -> ())
+      in
+      grant_loop want)
+    (classed Sched_intf.Latency_critical);
+  List.iter
+    (fun id ->
+      let a = app_state t id in
+      let rec backfill () =
+        if U.Task_queue.length a.queue > 0 then
+          match free_core t with
+          | Some core ->
+              grant t ~app:id ~core;
+              backfill ()
+          | None -> ()
+      in
+      backfill ())
+    (classed Sched_intf.Best_effort)
+
+let rec tick t sim =
+  if t.running then begin
+    scheduler_pass t;
+    ignore (Sim.schedule_after sim ~delay:t.profile.realloc_interval (tick t))
+  end
+
+(* --- Sched_intf plumbing --- *)
+
+let add_app t spec =
+  if Hashtbl.mem t.apps spec.Sched_intf.id then
+    invalid_arg "Baseline.add_app: duplicate app id";
+  Hashtbl.add t.apps spec.Sched_intf.id
+    {
+      spec;
+      queue = U.Task_queue.create ();
+      workers = [];
+      granted = 0;
+      busy_snapshot = 0;
+    };
+  t.app_order <- t.app_order @ [ spec.Sched_intf.id ]
+
+let add_worker t ~app_id ~name ~step =
+  let a = app_state t app_id in
+  let th =
+    U.Uthread.create ~tid:(fresh_tid t) ~app:app_id ~uproc:app_id ~name
+      ~priority:(Sched_intf.priority_of_class a.spec.Sched_intf.class_)
+      ~step ()
+  in
+  a.workers <- th :: a.workers;
+  U.Task_queue.push a.queue th ~now:(now t);
+  th
+
+let idle_granted_core t ~app =
+  let rec go core =
+    if core >= ncores t then None
+    else if t.owner.(core) = Some app && U.Exec.is_idle (get_exec t) ~core then
+      Some core
+    else go (core + 1)
+  in
+  go 0
+
+let notify_app t ~app_id =
+  let a = app_state t app_id in
+  (match
+     List.find_opt (fun th -> U.Uthread.state th = U.Uthread.Parked) a.workers
+   with
+  | Some th ->
+      U.Uthread.set_state th U.Uthread.Ready;
+      U.Task_queue.push a.queue th ~now:(now t)
+  | None -> ());
+  let spinning_granted_core () =
+    let rec go core =
+      if core >= ncores t then None
+      else if
+        t.owner.(core) = Some app_id
+        &&
+        match U.Exec.current (get_exec t) ~core with
+        | Some th -> is_spin th
+        | None -> false
+      then Some core
+      else go (core + 1)
+    in
+    go 0
+  in
+  match idle_granted_core t ~app:app_id with
+  | Some core -> U.Exec.notify (get_exec t) ~core
+  | None -> (
+      match spinning_granted_core () with
+      | Some core ->
+          (* The steal loop finds the new work: abort the spin. *)
+          t.spun.(core) <- false;
+          U.Exec.preempt (get_exec t) ~core ~overhead:0
+      | None ->
+          (* The busy-polling IOKernel notices the wakeup between passes
+             and grants a free core; Arachne's arbiter waits for its next
+             pass. *)
+          if t.profile.grant_on_notify && U.Task_queue.length a.queue > 0 then begin
+            match free_core t with
+            | Some core -> grant t ~app:app_id ~core
+            | None -> ()
+          end)
+
+let start t =
+  t.running <- true;
+  U.Exec.start_all (get_exec t);
+  scheduler_pass t;
+  ignore
+    (Sim.schedule_after (Hw.Machine.sim t.machine)
+       ~delay:t.profile.realloc_interval (tick t))
+
+let stop t =
+  t.running <- false;
+  for core = 0 to ncores t - 1 do
+    U.Exec.stop (get_exec t) ~core
+  done
+
+let make profile ~machine =
+  let n = Hw.Machine.ncores machine in
+  let t =
+    {
+      machine;
+      profile;
+      exec = None;
+      apps = Hashtbl.create 8;
+      app_order = [];
+      owner = Array.make n None;
+      stint_start = Array.make n 0;
+      last_app = Array.make n None;
+      spun = Array.make n false;
+      spin_threads = Array.make n None;
+      park_hist = Stats.Histogram.create ();
+      next_tid = 1;
+      reallocs = 0;
+      running = false;
+    }
+  in
+  let hooks =
+    {
+      (U.Exec.default_hooks ()) with
+      U.Exec.pick_next = (fun ~core -> pick_next t ~core);
+      on_preempted = (fun ~core th -> on_preempted t ~core th);
+      switch_overhead =
+        (fun ~core ~kind ~next -> switch_overhead t ~core ~kind ~next);
+      (* Kernel-mediated switching: overheads land in the kernel bucket;
+         steal-loop spinning is runtime work (Exec charges Runtime_work to
+         the Runtime bucket regardless of this field). *)
+      overhead_category = Stats.Cycle_account.Kernel;
+      syscall_category = Stats.Cycle_account.Kernel;
+      on_run = (fun ~core th -> on_run t ~core th);
+    }
+  in
+  t.exec <- Some (U.Exec.create machine hooks);
+  t
+
+let system t =
+  {
+    Sched_intf.sys_name = t.profile.prof_name;
+    add_app = (fun spec -> add_app t spec);
+    add_worker = (fun ~app_id ~name ~step -> add_worker t ~app_id ~name ~step);
+    notify_app = (fun ~app_id -> notify_app t ~app_id);
+    start = (fun () -> start t);
+    stop = (fun () -> stop t);
+    switch_latencies = (fun () -> Some t.park_hist);
+  }
+
+let exec t = get_exec t
+let granted_cores t ~app_id = (app_state t app_id).granted
+let reallocations t = t.reallocs
+let preempt_stages t = preempt_stages_of (Hw.Machine.cost t.machine)

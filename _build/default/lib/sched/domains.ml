@@ -1,0 +1,89 @@
+module Hw = Vessel_hw
+
+type t = {
+  vessels : Vessel.t array;
+  placement : (int, int) Hashtbl.t; (* app id -> domain index *)
+  slots_used : int array;
+  slots_per_domain : int;
+}
+
+let make ?params ~domains ~machine () =
+  if domains <= 0 then invalid_arg "Domains.make: need at least one domain";
+  let n = Hw.Machine.ncores machine in
+  if n < domains then invalid_arg "Domains.make: fewer cores than domains";
+  (* Contiguous partition; remainders go to the first domains. *)
+  let base = n / domains and extra = n mod domains in
+  let start = ref 0 in
+  let vessels =
+    Array.init domains (fun d ->
+        let size = base + if d < extra then 1 else 0 in
+        let cores = List.init size (fun i -> !start + i) in
+        start := !start + size;
+        Vessel.make ?params ~cores ~machine ())
+  in
+  {
+    vessels;
+    placement = Hashtbl.create 16;
+    slots_used = Array.make domains 0;
+    slots_per_domain = Hw.Pkey.max_uprocesses;
+  }
+
+let domain_count t = Array.length t.vessels
+let capacity t = domain_count t * t.slots_per_domain
+let domain t d = t.vessels.(d)
+
+let domain_of_app t ~app_id =
+  match Hashtbl.find_opt t.placement app_id with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Domains: unknown app %d" app_id)
+
+let vessel_of_app t ~app_id = t.vessels.(domain_of_app t ~app_id)
+
+(* Place in the emptiest domain with a free slot. *)
+let place t =
+  let best = ref (-1) and best_used = ref max_int in
+  Array.iteri
+    (fun d used ->
+      if used < t.slots_per_domain && used < !best_used then begin
+        best := d;
+        best_used := used
+      end)
+    t.slots_used;
+  if !best < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Domains: all %d domains full (%d uProcesses); add another domain"
+         (domain_count t) (capacity t));
+  !best
+
+let add_app t spec =
+  let d = place t in
+  (Vessel.system t.vessels.(d)).Sched_intf.add_app spec;
+  Hashtbl.replace t.placement spec.Sched_intf.id d;
+  t.slots_used.(d) <- t.slots_used.(d) + 1
+
+let system t =
+  {
+    Sched_intf.sys_name = Printf.sprintf "vessel-x%d" (domain_count t);
+    add_app = (fun spec -> add_app t spec);
+    add_worker =
+      (fun ~app_id ~name ~step ->
+        (Vessel.system (vessel_of_app t ~app_id)).Sched_intf.add_worker
+          ~app_id ~name ~step);
+    notify_app =
+      (fun ~app_id ->
+        (Vessel.system (vessel_of_app t ~app_id)).Sched_intf.notify_app
+          ~app_id);
+    start = (fun () -> Array.iter (fun v -> (Vessel.system v).Sched_intf.start ()) t.vessels);
+    stop = (fun () -> Array.iter (fun v -> (Vessel.system v).Sched_intf.stop ()) t.vessels);
+    switch_latencies =
+      (fun () ->
+        let h = Vessel_stats.Histogram.create () in
+        Array.iter
+          (fun v ->
+            match (Vessel.system v).Sched_intf.switch_latencies () with
+            | Some hv -> Vessel_stats.Histogram.merge ~into:h hv
+            | None -> ())
+          t.vessels;
+        Some h);
+  }

@@ -1,0 +1,34 @@
+(** Multiple scheduling domains on one machine (sections 4.1 and 3.1).
+
+    One SMAS supports at most 13 uProcesses (16 protection keys minus the
+    runtime, the message pipe and key 0), so denser deployments run
+    several domains side by side, each owning a disjoint core subset and
+    its own SMAS/runtime/scheduler. This coordinator partitions the
+    machine, places each new application in the emptiest domain that
+    still has a free slot, and presents the whole ensemble as one
+    {!Sched_intf.system}. Cross-domain core reallocation does not exist —
+    exactly the paper's constraint — so the partition is the unit of
+    isolation. *)
+
+type t
+
+val make :
+  ?params:Vessel.params ->
+  domains:int ->
+  machine:Vessel_hw.Machine.t ->
+  unit ->
+  t
+(** Splits the machine's cores into [domains] contiguous subsets (raises
+    if there are fewer cores than domains). *)
+
+val system : t -> Sched_intf.system
+
+val domain_count : t -> int
+
+val domain_of_app : t -> app_id:int -> int
+(** Which domain an app landed in. Raises on unknown apps. *)
+
+val capacity : t -> int
+(** Total uProcess slots across all domains (13 x domains). *)
+
+val domain : t -> int -> Vessel.t

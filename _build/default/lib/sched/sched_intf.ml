@@ -1,0 +1,21 @@
+type app_class = Latency_critical | Best_effort
+
+type app_spec = { id : int; name : string; class_ : app_class }
+
+type system = {
+  sys_name : string;
+  add_app : app_spec -> unit;
+  add_worker :
+    app_id:int ->
+    name:string ->
+    step:(now:Vessel_engine.Time.t -> Vessel_uprocess.Uthread.action) ->
+    Vessel_uprocess.Uthread.t;
+  notify_app : app_id:int -> unit;
+  start : unit -> unit;
+  stop : unit -> unit;
+  switch_latencies : unit -> Vessel_stats.Histogram.t option;
+}
+
+let priority_of_class = function
+  | Latency_critical -> Vessel_uprocess.Uthread.Latency_critical
+  | Best_effort -> Vessel_uprocess.Uthread.Best_effort

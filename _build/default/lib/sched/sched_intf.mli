@@ -1,0 +1,38 @@
+(** The common face every scheduler system presents to the experiment
+    harness.
+
+    An experiment builds one system over a machine, registers applications
+    and their worker threads, then drives load at it; which scheduler runs
+    underneath — VESSEL, Caladan (with or without Delay Range), Arachne or
+    Linux CFS — is invisible to the workload. *)
+
+type app_class = Latency_critical | Best_effort
+
+type app_spec = {
+  id : int;  (** unique; the [Cycle_account.App] tag *)
+  name : string;
+  class_ : app_class;
+}
+
+type system = {
+  sys_name : string;
+  add_app : app_spec -> unit;
+      (** Register before adding workers. Raises on duplicate ids. *)
+  add_worker :
+    app_id:int ->
+    name:string ->
+    step:(now:Vessel_engine.Time.t -> Vessel_uprocess.Uthread.action) ->
+    Vessel_uprocess.Uthread.t;
+      (** Create one worker thread for the app; placement is the
+          scheduler's business. *)
+  notify_app : app_id:int -> unit;
+      (** A request arrived for the app: wake a parked worker if the
+          scheduler can. *)
+  start : unit -> unit;
+  stop : unit -> unit;
+  switch_latencies : unit -> Vessel_stats.Histogram.t option;
+      (** Cross-application context-switch latencies, where measured
+          (Table 1). *)
+}
+
+val priority_of_class : app_class -> Vessel_uprocess.Uthread.priority

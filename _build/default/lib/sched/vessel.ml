@@ -1,0 +1,246 @@
+module Sim = Vessel_engine.Sim
+module Rng = Vessel_engine.Rng
+module Hw = Vessel_hw
+module Mem = Vessel_mem
+module U = Vessel_uprocess
+
+type params = {
+  scan_interval : int;
+  overload_delay : int;
+  be_preempt_delay : int;
+  rotation_quantum : int;
+  eager_preempt : bool;
+}
+
+let default_params =
+  {
+    scan_interval = 1_000;
+    overload_delay = 2_000;
+    be_preempt_delay = 200;
+    rotation_quantum = 5_000;
+    eager_preempt = true;
+  }
+
+type app_state = {
+  spec : Sched_intf.app_spec;
+  uproc : U.Uprocess.t;
+  mutable workers : U.Uthread.t list;
+  mutable backlog_probe : (unit -> int) option;
+}
+
+type t = {
+  machine : Hw.Machine.t;
+  mgr : U.Manager.t;
+  rt : U.Runtime.t;
+  params : params;
+  cores : int array; (* the subset of the machine this domain manages *)
+  apps : (int, app_state) Hashtbl.t;
+  image_rng : Rng.t;
+  mutable rr : int; (* round-robin worker placement cursor *)
+  mutable preempts : int;
+  mutable running : bool;
+  mutable last_rotation : int array;
+}
+
+let make ?(params = default_params) ?slots ?cores ~machine () =
+  let mgr = U.Manager.create ?slots ~machine () in
+  let cores =
+    match cores with
+    | Some cs ->
+        if cs = [] then invalid_arg "Vessel.make: empty core set";
+        Array.of_list cs
+    | None -> Array.init (Hw.Machine.ncores machine) Fun.id
+  in
+  {
+    machine;
+    mgr;
+    rt = U.Manager.runtime mgr;
+    params;
+    cores;
+    apps = Hashtbl.create 8;
+    image_rng = Rng.split (Sim.rng (Hw.Machine.sim machine));
+    rr = 0;
+    preempts = 0;
+    running = false;
+    last_rotation = Array.make (Hw.Machine.ncores machine) 0;
+  }
+
+let manager t = t.mgr
+let runtime t = t.rt
+let preempts_sent t = t.preempts
+
+let app_state t id =
+  match Hashtbl.find_opt t.apps id with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Vessel: unknown app %d" id)
+
+let add_app t spec =
+  if Hashtbl.mem t.apps spec.Sched_intf.id then
+    invalid_arg "Vessel.add_app: duplicate app id";
+  let image =
+    Mem.Image.make ~name:spec.Sched_intf.name ~text_size:16_384 t.image_rng
+  in
+  match U.Manager.create_uprocess t.mgr ~name:spec.Sched_intf.name ~image () with
+  | Error e ->
+      invalid_arg
+        (Format.asprintf "Vessel.add_app: %a" U.Manager.pp_create_error e)
+  | Ok uproc ->
+      Hashtbl.add t.apps spec.Sched_intf.id
+        { spec; uproc; workers = []; backlog_probe = None }
+
+let add_worker t ~app_id ~name ~step =
+  let a = app_state t app_id in
+  let core = t.cores.(t.rr mod Array.length t.cores) in
+  t.rr <- t.rr + 1;
+  let th =
+    U.Manager.spawn_thread t.mgr ~uproc:a.uproc ~app:app_id
+      ~priority:(Sched_intf.priority_of_class a.spec.Sched_intf.class_)
+      ~name ~step ~core
+  in
+  a.workers <- th :: a.workers;
+  th
+
+let core_runs_be t core =
+  match U.Runtime.current_thread t.rt ~core with
+  | Some th -> U.Uthread.priority th = U.Uthread.Best_effort
+  | None -> false
+
+(* Placement preference for a waking latency-critical worker: an idle
+   core, else a core running best-effort work (which the runtime preempts
+   immediately via Uintr — "B-app's core can be preempted just in time"),
+   else the shortest queue. *)
+let best_core t =
+  let shortest = ref t.cores.(0) and shortest_len = ref max_int in
+  let be_core = ref None in
+  let idle = ref None in
+  for i = Array.length t.cores - 1 downto 0 do
+    let core = t.cores.(i) in
+    if U.Runtime.is_idle t.rt ~core then idle := Some core
+    else begin
+      if core_runs_be t core then be_core := Some core;
+      let len = U.Runtime.queue_length t.rt ~core in
+      if len < !shortest_len then begin
+        shortest := core;
+        shortest_len := len
+      end
+    end
+  done;
+  match (!idle, !be_core) with
+  | Some core, _ -> (core, `Idle)
+  | None, Some core -> (core, `Preempt_be)
+  | None, None -> (!shortest, `Queue)
+
+let notify_app t ~app_id =
+  let a = app_state t app_id in
+  match
+    List.find_opt (fun th -> U.Uthread.state th = U.Uthread.Parked) a.workers
+  with
+  | None -> ()
+  | Some th -> (
+      let core, kind = best_core t in
+      U.Runtime.wake_thread t.rt th ~core;
+      match kind with
+      | `Preempt_be when t.params.eager_preempt ->
+          t.preempts <- t.preempts + 1;
+          U.Runtime.preempt_core t.rt ~core [ U.Signal.Preempt_to_be ]
+      | `Preempt_be | `Idle | `Queue -> ())
+
+let set_backlog_probe t ~app_id probe =
+  (app_state t app_id).backlog_probe <- Some probe
+
+(* Dataplane-assisted wake-ups: for each app whose exposed device queue
+   reports a backlog, ready as many parked workers as there are waiting
+   items (notify_app only wakes one per arrival). *)
+let scan_backlogs t =
+  Hashtbl.iter
+    (fun app_id a ->
+      match a.backlog_probe with
+      | None -> ()
+      | Some probe ->
+          let depth = probe () in
+          if depth > 0 then begin
+            let parked =
+              List.filter
+                (fun th -> U.Uthread.state th = U.Uthread.Parked)
+                a.workers
+            in
+            List.iteri
+              (fun i _th -> if i < depth then notify_app t ~app_id)
+              parked
+          end)
+    t.apps
+
+(* One scheduler pass: preempt best-effort threads blocking overloaded
+   cores, and spread queued work to underloaded cores. *)
+let rec scan t =
+  Array.iter (fun core -> scan_core t core) t.cores
+
+and scan_core t core =
+  begin
+    let delay = U.Runtime.queue_delay t.rt ~core in
+    let runs_be = core_runs_be t core in
+    if runs_be && delay > t.params.be_preempt_delay then begin
+      (* A latency-critical thread is waiting behind best-effort work:
+         preempt at once. *)
+      t.preempts <- t.preempts + 1;
+      U.Runtime.preempt_core t.rt ~core [ U.Signal.Preempt_to_be ]
+    end
+    else if (not runs_be) && delay > t.params.overload_delay then begin
+      let now = Vessel_engine.Sim.now (Hw.Machine.sim t.machine) in
+      match U.Runtime.steal_queued t.rt ~core with
+      | Some th -> (
+          match best_core t with
+          | target, `Idle when target <> core ->
+              U.Runtime.assign t.rt th ~core:target
+          | target, `Preempt_be ->
+              (* Move the waiter onto a best-effort core and reclaim it
+                 right away. *)
+              U.Runtime.assign t.rt th ~core:target;
+              t.preempts <- t.preempts + 1;
+              U.Runtime.preempt_core t.rt ~core:target
+                [ U.Signal.Preempt_to_be ]
+          | target, `Queue when target <> core ->
+              U.Runtime.assign t.rt th ~core:target
+          | _, _ ->
+              (* Nowhere better: rotate this core so queued threads are
+                 not starved behind the incumbent (head-of-line blocking,
+                 section 4.5), at most once per quantum. *)
+              U.Runtime.assign t.rt th ~core;
+              if now - t.last_rotation.(core) >= t.params.rotation_quantum
+              then begin
+                t.last_rotation.(core) <- now;
+                t.preempts <- t.preempts + 1;
+                U.Runtime.preempt_core t.rt ~core [ U.Signal.Preempt_to_be ]
+              end)
+      | None -> ()
+    end
+  end
+
+let rec tick t sim =
+  if t.running then begin
+    scan_backlogs t;
+    scan t;
+    ignore (Sim.schedule_after sim ~delay:t.params.scan_interval (tick t))
+  end
+
+let start t =
+  t.running <- true;
+  U.Manager.start ~cores:(Array.to_list t.cores) t.mgr;
+  ignore
+    (Sim.schedule_after (Hw.Machine.sim t.machine) ~delay:t.params.scan_interval
+       (tick t))
+
+let stop t =
+  t.running <- false;
+  U.Manager.stop ~cores:(Array.to_list t.cores) t.mgr
+
+let system t =
+  {
+    Sched_intf.sys_name = "vessel";
+    add_app = (fun spec -> add_app t spec);
+    add_worker = (fun ~app_id ~name ~step -> add_worker t ~app_id ~name ~step);
+    notify_app = (fun ~app_id -> notify_app t ~app_id);
+    start = (fun () -> start t);
+    stop = (fun () -> stop t);
+    switch_latencies = (fun () -> Some (U.Runtime.switch_latencies t.rt));
+  }

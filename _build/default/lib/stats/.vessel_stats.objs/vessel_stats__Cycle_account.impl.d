@@ -1,0 +1,1 @@
+lib/stats/cycle_account.ml: Format Hashtbl List Vessel_engine

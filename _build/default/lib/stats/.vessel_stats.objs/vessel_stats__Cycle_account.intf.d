@@ -1,0 +1,1 @@
+lib/stats/cycle_account.mli: Format Vessel_engine

@@ -1,0 +1,1 @@
+lib/stats/timeline.ml: Array Buffer List Printf String Vessel_engine

@@ -1,0 +1,1 @@
+lib/stats/timeline.mli: Vessel_engine

@@ -1,0 +1,61 @@
+module Time = Vessel_engine.Time
+
+type t = {
+  mutable times : Time.t array;
+  mutable vals : float array;
+  mutable n : int;
+}
+
+let create () = { times = [||]; vals = [||]; n = 0 }
+
+let grow t =
+  let cap = Array.length t.times in
+  if t.n = cap then begin
+    let ncap = max 64 (2 * cap) in
+    let nt = Array.make ncap 0 and nv = Array.make ncap 0. in
+    Array.blit t.times 0 nt 0 t.n;
+    Array.blit t.vals 0 nv 0 t.n;
+    t.times <- nt;
+    t.vals <- nv
+  end
+
+let add t ~at v =
+  if t.n > 0 && at < t.times.(t.n - 1) then
+    invalid_arg "Series.add: samples must be time-ordered";
+  grow t;
+  t.times.(t.n) <- at;
+  t.vals.(t.n) <- v;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let to_list t =
+  let rec go i acc =
+    if i < 0 then acc else go (i - 1) ((t.times.(i), t.vals.(i)) :: acc)
+  in
+  go (t.n - 1) []
+
+let values t = Array.sub t.vals 0 t.n
+
+let last t = if t.n = 0 then None else Some (t.times.(t.n - 1), t.vals.(t.n - 1))
+
+let mean t =
+  if t.n = 0 then 0.
+  else begin
+    let total = ref 0. in
+    for i = 0 to t.n - 1 do
+      total := !total +. t.vals.(i)
+    done;
+    !total /. float_of_int t.n
+  end
+
+let between t ~lo ~hi =
+  let out = create () in
+  for i = 0 to t.n - 1 do
+    if t.times.(i) >= lo && t.times.(i) < hi then
+      add out ~at:t.times.(i) t.vals.(i)
+  done;
+  out
+
+let rate_per_s ~count ~window =
+  if window <= 0 then 0. else float_of_int count /. Time.to_s window

@@ -1,0 +1,31 @@
+(** A time series of (time, value) samples.
+
+    Used to collect per-interval measurements (throughput over the run,
+    bandwidth consumption over the run) that the figure harnesses then
+    reduce or print. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> at:Vessel_engine.Time.t -> float -> unit
+(** Samples must be appended in non-decreasing time order. *)
+
+val length : t -> int
+
+val to_list : t -> (Vessel_engine.Time.t * float) list
+(** In insertion (time) order. *)
+
+val values : t -> float array
+
+val last : t -> (Vessel_engine.Time.t * float) option
+
+val mean : t -> float
+(** Arithmetic mean of the values; 0 when empty. *)
+
+val between : t -> lo:Vessel_engine.Time.t -> hi:Vessel_engine.Time.t -> t
+(** Samples with [lo <= time < hi]. *)
+
+val rate_per_s :
+  count:int -> window:Vessel_engine.Time.t -> float
+(** Convenience: [count] events in a [window] expressed as events/second. *)

@@ -1,0 +1,46 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable total : float;
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; min_v = nan; max_v = nan; total = 0. }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if t.n = 1 then begin
+    t.min_v <- x;
+    t.max_v <- x
+  end
+  else begin
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = Float.sqrt (variance t)
+let min t = t.min_v
+let max t = t.max_v
+let total t = t.total
+
+let clear t =
+  t.n <- 0;
+  t.mean <- 0.;
+  t.m2 <- 0.;
+  t.min_v <- nan;
+  t.max_v <- nan;
+  t.total <- 0.
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t)
+    (stddev t) t.min_v t.max_v

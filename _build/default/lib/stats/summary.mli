@@ -1,0 +1,28 @@
+(** Running scalar summary (Welford's online algorithm).
+
+    Tracks count, mean, variance, min and max of a float stream with O(1)
+    memory and no catastrophic cancellation. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Sample (n-1) variance; 0 when fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [nan] when empty. *)
+
+val max : t -> float
+(** [nan] when empty. *)
+
+val total : t -> float
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

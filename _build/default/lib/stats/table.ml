@@ -1,0 +1,42 @@
+type t = { columns : string list; mutable rows : string list list }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  { columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns"
+         (List.length cells) (List.length t.columns));
+  t.rows <- t.rows @ [ cells ]
+
+let add_rowf t fmt =
+  Printf.ksprintf (fun s -> add_row t (String.split_on_char '|' s)) fmt
+
+let row_count t = List.length t.rows
+
+let render t =
+  let all = t.columns :: t.rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n"
+    ((render_row t.columns :: sep :: List.map render_row t.rows) @ [])
+
+let print t = print_string (render t ^ "\n")
+
+let cell_f x = Printf.sprintf "%.3f" x
+let cell_us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e3)
+let cell_pct x = Printf.sprintf "%.1f%%" (x *. 100.)

@@ -1,0 +1,32 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every figure/table reproduction prints its rows through this module so
+    the output is uniform and diffable. Cells are strings; columns are
+    padded to the widest cell and separated by two spaces. *)
+
+type t
+
+val create : columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Must have exactly as many cells as there are columns. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** Formats a single string and splits it on ['|'] into cells. *)
+
+val row_count : t -> int
+
+val render : t -> string
+(** Header, separator, then rows. *)
+
+val print : t -> unit
+(** [render] to stdout with a trailing newline. *)
+
+val cell_f : float -> string
+(** Float cell with 3 significant decimals. *)
+
+val cell_us : int -> string
+(** Nanosecond value rendered as microseconds ("1.234"). *)
+
+val cell_pct : float -> string
+(** Fraction rendered as a percentage ("12.3%"). *)

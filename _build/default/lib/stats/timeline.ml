@@ -1,0 +1,60 @@
+type segment = { from : int; till : int; label : string }
+
+type t = {
+  cores : segment list ref array;
+  mutable labels : string list; (* reverse first-appearance order *)
+}
+
+let create ~cores =
+  if cores <= 0 then invalid_arg "Timeline.create: cores must be positive";
+  { cores = Array.init cores (fun _ -> ref []); labels = [] }
+
+let record t ~core ~from ~till ~label =
+  if core < 0 || core >= Array.length t.cores then
+    invalid_arg "Timeline.record: core out of range";
+  if till > from then begin
+    if not (List.mem label t.labels) then t.labels <- label :: t.labels;
+    let segs = t.cores.(core) in
+    segs := { from; till; label } :: !segs
+  end
+
+let labels t = List.rev t.labels
+
+let render t ~from ~till ?(width = 100) () =
+  if till <= from then invalid_arg "Timeline.render: empty window";
+  if width <= 0 then invalid_arg "Timeline.render: width must be positive";
+  let span = till - from in
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun core segs ->
+      Buffer.add_string buf (Printf.sprintf "core %2d |" core);
+      for b = 0 to width - 1 do
+        let b_from = from + (span * b / width) in
+        let b_till = from + (span * (b + 1) / width) in
+        (* Dominant label in the bucket. *)
+        let best = ref None in
+        List.iter
+          (fun s ->
+            let overlap = min s.till b_till - max s.from b_from in
+            if overlap > 0 then
+              match !best with
+              | Some (_, o) when o >= overlap -> ()
+              | _ -> best := Some (s.label, overlap))
+          !segs;
+        Buffer.add_char buf
+          (match !best with
+          | Some (label, _) when String.length label > 0 -> label.[0]
+          | _ -> '.')
+      done;
+      Buffer.add_string buf "|\n")
+    t.cores;
+  Buffer.add_string buf
+    (Printf.sprintf "         %s -> %s  ('.' = idle)\n"
+       (Vessel_engine.Time.to_string from)
+       (Vessel_engine.Time.to_string till));
+  List.iter
+    (fun l ->
+      if String.length l > 0 then
+        Buffer.add_string buf (Printf.sprintf "         %c = %s\n" l.[0] l))
+    (labels t);
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Core-occupancy timelines (the lower panel of the paper's Figure 7).
+
+    Collects labelled per-core occupancy segments and renders them as an
+    ASCII Gantt chart, one row per core, one character per time bucket —
+    the quickest way to {e see} a scheduler filling (or failing to fill) a
+    core with work. *)
+
+type t
+
+val create : cores:int -> t
+
+val record :
+  t -> core:int -> from:Vessel_engine.Time.t -> till:Vessel_engine.Time.t ->
+  label:string -> unit
+(** One occupancy segment. Zero-length or reversed segments are ignored.
+    Segments may arrive in any order. *)
+
+val render :
+  t ->
+  from:Vessel_engine.Time.t ->
+  till:Vessel_engine.Time.t ->
+  ?width:int ->
+  unit ->
+  string
+(** Render the window with [width] buckets per row (default 100). Each
+    bucket shows the first letter of the label occupying most of it
+    ('.' for idle/empty); a legend follows. *)
+
+val labels : t -> string list
+(** Distinct labels seen, in first-appearance order. *)

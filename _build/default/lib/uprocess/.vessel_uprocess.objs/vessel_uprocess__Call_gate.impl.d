@@ -1,0 +1,1 @@
+lib/uprocess/call_gate.ml: Bytes Hashtbl Int64 Message_pipe Vessel_hw Vessel_mem

@@ -1,0 +1,1 @@
+lib/uprocess/call_gate.mli: Message_pipe Vessel_hw Vessel_mem

@@ -1,0 +1,1 @@
+lib/uprocess/exec.ml: Array Float List Uthread Vessel_engine Vessel_hw Vessel_stats

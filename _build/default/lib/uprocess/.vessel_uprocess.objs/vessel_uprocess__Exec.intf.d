@@ -1,0 +1,1 @@
+lib/uprocess/exec.mli: Uthread Vessel_engine Vessel_hw Vessel_stats

@@ -1,0 +1,1 @@
+lib/uprocess/manager.ml: Format Hashtbl List Runtime Uprocess Vessel_engine Vessel_hw Vessel_mem

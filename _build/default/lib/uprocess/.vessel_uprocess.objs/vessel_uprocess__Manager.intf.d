@@ -1,0 +1,1 @@
+lib/uprocess/manager.mli: Format Runtime Uprocess Uthread Vessel_engine Vessel_hw Vessel_mem

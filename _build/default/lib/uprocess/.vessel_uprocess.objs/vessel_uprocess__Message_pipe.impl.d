@@ -1,0 +1,1 @@
+lib/uprocess/message_pipe.ml: Bytes Int64 Printf Vessel_hw Vessel_mem

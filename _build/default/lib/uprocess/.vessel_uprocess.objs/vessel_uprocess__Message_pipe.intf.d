@@ -1,0 +1,1 @@
+lib/uprocess/message_pipe.mli: Vessel_hw Vessel_mem

@@ -1,0 +1,1 @@
+lib/uprocess/runtime.ml: Array Call_gate Exec Format Fun Hashtbl List Message_pipe Printf Signal Syscall Task_queue Uprocess Uthread Vessel_engine Vessel_hw Vessel_mem Vessel_stats

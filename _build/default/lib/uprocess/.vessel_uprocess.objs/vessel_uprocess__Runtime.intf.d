@@ -1,0 +1,1 @@
+lib/uprocess/runtime.mli: Call_gate Exec Message_pipe Signal Syscall Uprocess Uthread Vessel_engine Vessel_hw Vessel_mem Vessel_stats

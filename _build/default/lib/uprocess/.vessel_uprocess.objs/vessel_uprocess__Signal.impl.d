@@ -1,0 +1,1 @@
+lib/uprocess/signal.ml: Array List Printf Queue

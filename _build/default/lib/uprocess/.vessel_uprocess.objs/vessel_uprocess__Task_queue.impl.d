@@ -1,0 +1,1 @@
+lib/uprocess/task_queue.ml: Hashtbl List Printf Queue Uthread Vessel_engine

@@ -1,0 +1,1 @@
+lib/uprocess/task_queue.mli: Uthread Vessel_engine

@@ -1,0 +1,1 @@
+lib/uprocess/uprocess.ml: Format List Uthread Vessel_hw Vessel_mem

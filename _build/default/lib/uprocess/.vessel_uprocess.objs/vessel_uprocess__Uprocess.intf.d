@@ -1,0 +1,1 @@
+lib/uprocess/uprocess.mli: Format Uthread Vessel_hw Vessel_mem

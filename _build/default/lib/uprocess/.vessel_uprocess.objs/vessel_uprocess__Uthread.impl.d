@@ -1,0 +1,1 @@
+lib/uprocess/uthread.ml: Format Printf Vessel_engine

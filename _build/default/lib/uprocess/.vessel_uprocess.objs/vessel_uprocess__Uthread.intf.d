@@ -1,0 +1,1 @@
+lib/uprocess/uthread.mli: Format Vessel_engine

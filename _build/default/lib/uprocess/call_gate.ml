@@ -1,0 +1,175 @@
+module Mem = Vessel_mem
+module Hw = Vessel_hw
+module Cost_model = Hw.Cost_model
+
+type t = {
+  smas : Mem.Smas.t;
+  pipe : Message_pipe.t;
+  cost : Cost_model.t;
+  switch_stack : bool;
+  check_pkru : bool;
+  runtime_pkru : Hw.Pkru.t;
+  stack_base : Mem.Addr.t;
+  mutable next_token : int;
+  token_addrs : (int, Mem.Addr.t) Hashtbl.t; (* core -> live token word *)
+}
+
+type error = Unknown_function of int | Gate_fault of Vessel_hw.Page.fault
+
+type session = { fn_id : int; token : int; enter_ns : int }
+
+let stack_stride = 64 * 1024
+
+let runtime_stack_addr t ~core = t.stack_base + (core * stack_stride)
+
+let create ?(switch_stack = true) ?(check_pkru = true) ~smas ~pipe ~cost () =
+  let rt = Mem.Layout.runtime_data (Mem.Smas.layout smas) in
+  let stack_base = rt.Mem.Region.base + stack_stride in
+  let t =
+    {
+      smas;
+      pipe;
+      cost;
+      switch_stack;
+      check_pkru;
+      runtime_pkru = Mem.Smas.pkru_runtime smas;
+      stack_base;
+      next_token = 0x5EED;
+      token_addrs = Hashtbl.create 8;
+    }
+  in
+  (* Publish the per-core privileged stacks in CPUID_TO_RUNTIME_MAP. *)
+  for core = 0 to Message_pipe.ncores pipe - 1 do
+    Message_pipe.set_runtime_stack pipe ~core (runtime_stack_addr t ~core)
+  done;
+  t
+
+let write_token t ~addr ~token =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int token);
+  Mem.Smas.write t.smas ~pkru:t.runtime_pkru ~addr b
+
+let read_token t ~addr =
+  match Mem.Smas.read t.smas ~pkru:t.runtime_pkru ~addr ~len:8 with
+  | Ok b -> Ok (Int64.to_int (Bytes.get_int64_le b 0))
+  | Error (_, f) -> Error f
+
+let enter t ~core ~fn_index ~user_stack =
+  let cost = t.cost in
+  (* Stage 1: WRPKRU to the runtime image. *)
+  Hw.Core.set_pkru core t.runtime_pkru;
+  let ns = ref cost.Cost_model.wrpkru in
+  (* Stage 2: switch to the privileged stack and resolve the function via
+     the static vector (never the PLT). *)
+  ns := !ns + cost.Cost_model.gate_stack_switch + cost.Cost_model.gate_dispatch;
+  let token = t.next_token in
+  t.next_token <- t.next_token + 1;
+  let token_addr =
+    if t.switch_stack then runtime_stack_addr t ~core:(Hw.Core.id core)
+    else user_stack
+  in
+  Hashtbl.replace t.token_addrs (Hw.Core.id core) token_addr;
+  match write_token t ~addr:token_addr ~token with
+  | Error (_, f) -> Error (Gate_fault f)
+  | Ok () -> (
+      match
+        Message_pipe.function_id t.pipe ~reader_pkru:t.runtime_pkru
+          ~index:fn_index
+      with
+      | Error f -> Error (Gate_fault f)
+      | Ok None -> (
+          (* Refuse: restore the caller's PKRU from the task map. *)
+          match
+            Message_pipe.task t.pipe ~reader_pkru:t.runtime_pkru
+              ~core:(Hw.Core.id core)
+          with
+          | Error f -> Error (Gate_fault f)
+          | Ok (_, task_pkru) ->
+              Hw.Core.set_pkru core task_pkru;
+              Error (Unknown_function fn_index))
+      | Ok (Some fn_id) ->
+          Ok { fn_id; token; enter_ns = !ns })
+
+let leave t ~core session =
+  let cost = t.cost in
+  let core_id = Hw.Core.id core in
+  (* Return via the token stored at gate entry. *)
+  let token_addr =
+    match Hashtbl.find_opt t.token_addrs core_id with
+    | Some a -> a
+    | None -> runtime_stack_addr t ~core:core_id
+  in
+  (match read_token t ~addr:token_addr with
+  | Ok v when v = session.token -> ()
+  | Ok _ -> failwith "Call_gate.leave: return token smashed"
+  | Error f -> raise (Failure (Hw.Page.fault_to_string f)));
+  (* Stage 3: restore the task PKRU recorded for this core. *)
+  match Message_pipe.task t.pipe ~reader_pkru:t.runtime_pkru ~core:core_id with
+  | Error f -> Error (Gate_fault f)
+  | Ok (_, task_pkru) ->
+      Hw.Core.set_pkru core task_pkru;
+      let ns =
+        ref
+          (cost.Cost_model.gate_stack_switch + cost.Cost_model.wrpkru
+         + cost.Cost_model.rdpkru)
+      in
+      (* Stage 4: RDPKRU re-check (trivially consistent on the honest
+         path; the hijack attack exercises the loop). *)
+      if t.check_pkru then begin
+        let cur = Hw.Core.pkru core in
+        if not (Hw.Pkru.equal cur task_pkru) then begin
+          Hw.Core.set_pkru core task_pkru;
+          ns := !ns + cost.Cost_model.wrpkru + cost.Cost_model.rdpkru
+        end
+      end;
+      Ok !ns
+
+let attack_hijack_wrpkru t ~core ~forged_eax =
+  let core_id = Hw.Core.id core in
+  (* The attacker jumps directly to the stage-3 WRPKRU with eax under its
+     control. *)
+  Hw.Core.set_pkru core forged_eax;
+  if not t.check_pkru then `Succeeded
+  else begin
+    (* Stage 4 executes with the forged PKRU live: it must re-read the
+       task map through the message pipe. If the forged image revoked pipe
+       access the load MPK-faults and the thread is terminated; otherwise
+       the mismatch is detected and the PKRU reset. Either way the
+       privilege does not stick. *)
+    let rec loop iterations =
+      match
+        Message_pipe.task t.pipe
+          ~reader_pkru:(Hw.Core.pkru core)
+          ~core:core_id
+      with
+      | Error _ -> `Defeated iterations (* MPK terminated the thread *)
+      | Ok (_, expected) ->
+          if Hw.Pkru.equal (Hw.Core.pkru core) expected then
+            `Defeated iterations
+          else begin
+            Hw.Core.set_pkru core expected;
+            loop (iterations + 1)
+          end
+    in
+    loop 0
+  end
+
+let attack_smash_return t ~core session ~user_stack ~attacker_pkru =
+  (* The sibling thread scribbles over the word where a naive gate keeps
+     its return address. Under the hardened gate that word lives on the
+     privileged stack, so the attacker's write lands harmlessly in its own
+     user stack; under the weakened gate the token itself sits at
+     [user_stack] and is destroyed. *)
+  let garbage = Bytes.make 8 '\xCC' in
+  match Mem.Smas.write t.smas ~pkru:attacker_pkru ~addr:user_stack garbage with
+  | Error _ -> `Write_faulted
+  | Ok () ->
+      let token_addr =
+        match Hashtbl.find_opt t.token_addrs (Hw.Core.id core) with
+        | Some a -> a
+        | None -> runtime_stack_addr t ~core:(Hw.Core.id core)
+      in
+      (match read_token t ~addr:token_addr with
+      | Ok v when v = session.token -> `Token_safe
+      | Ok _ -> `Token_smashed
+      | Error _ -> `Token_smashed)

@@ -1,0 +1,295 @@
+module Sim = Vessel_engine.Sim
+module Time = Vessel_engine.Time
+module Hw = Vessel_hw
+module Stats = Vessel_stats
+
+type switch_kind = Initial | Park_switch | Preempt_switch | Exit_switch | Idle_wake
+
+type hooks = {
+  pick_next : core:int -> Uthread.t option;
+  on_park : core:int -> Uthread.t -> unit;
+  on_preempted : core:int -> Uthread.t -> unit;
+  on_exit : core:int -> Uthread.t -> unit;
+  on_idle : core:int -> unit;
+  switch_overhead :
+    core:Vessel_hw.Core.t -> kind:switch_kind -> next:Uthread.t option -> int;
+  overhead_category : Vessel_stats.Cycle_account.category;
+  syscall_category : Vessel_stats.Cycle_account.category;
+  on_run : core:int -> Uthread.t -> unit;
+  on_descheduled : core:int -> Uthread.t -> unit;
+}
+
+let default_hooks () =
+  {
+    pick_next = (fun ~core:_ -> None);
+    on_park = (fun ~core:_ _ -> ());
+    on_preempted = (fun ~core:_ _ -> ());
+    on_exit = (fun ~core:_ _ -> ());
+    on_idle = (fun ~core:_ -> ());
+    switch_overhead = (fun ~core:_ ~kind:_ ~next:_ -> 0);
+    overhead_category = Stats.Cycle_account.Runtime;
+    syscall_category = Stats.Cycle_account.Kernel;
+    on_run = (fun ~core:_ _ -> ());
+    on_descheduled = (fun ~core:_ _ -> ());
+  }
+
+type core_state =
+  | Stopped
+  | Idle of { since : Time.t }
+  | Switching of {
+      next : Uthread.t option;
+      handle : Vessel_engine.Event_queue.handle;
+      mutable preempt_after : bool;
+    }
+  | Executing of {
+      th : Uthread.t;
+      action : Uthread.action;
+      started : Time.t;
+      effective : int;
+      handle : Vessel_engine.Event_queue.handle;
+    }
+
+type observation =
+  | Run of { core : int; thread : Uthread.t; at : Vessel_engine.Time.t }
+  | Deschedule of { core : int; thread : Uthread.t; at : Vessel_engine.Time.t }
+
+type t = {
+  machine : Hw.Machine.t;
+  hooks : hooks;
+  states : core_state array;
+  mutable observer : (observation -> unit) option;
+}
+
+let create machine hooks =
+  {
+    machine;
+    hooks;
+    states = Array.make (Hw.Machine.ncores machine) Stopped;
+    observer = None;
+  }
+
+let set_observer t f = t.observer <- Some f
+
+let observe t obs = match t.observer with Some f -> f obs | None -> ()
+
+let machine t = t.machine
+let sim t = Hw.Machine.sim t.machine
+let now t = Hw.Machine.now t.machine
+let hw_core t core = Hw.Machine.core t.machine core
+let cost t = Hw.Machine.cost t.machine
+
+let charge t ~core cat d =
+  if d > 0 then Hw.Core.charge (hw_core t core) cat d
+
+(* Action bookkeeping: which account a segment bills, and its completion
+   callback. *)
+let action_category t th = function
+  | Uthread.Syscall _ -> t.hooks.syscall_category
+  (* Runtime_work is always userspace-runtime time (e.g. a steal loop),
+     even when the scheduler's switch overheads land in the kernel. *)
+  | Uthread.Runtime_work _ -> Stats.Cycle_account.Runtime
+  | _ -> Stats.Cycle_account.App (Uthread.app th)
+
+let action_completion = function
+  | Uthread.Compute { on_complete; _ }
+  | Uthread.Mem_work { on_complete; _ }
+  | Uthread.Syscall { on_complete; _ }
+  | Uthread.Runtime_work { on_complete; _ } ->
+      on_complete
+  | Uthread.Park | Uthread.Exit -> None
+
+let rec free_core t ~core ~kind ~extra =
+  let next = t.hooks.pick_next ~core in
+  let overhead =
+    extra + t.hooks.switch_overhead ~core:(hw_core t core) ~kind ~next
+  in
+  if overhead <= 0 then land_switch t ~core ~next
+  else begin
+    let handle =
+      Sim.schedule_after (sim t) ~delay:overhead (fun _ ->
+          charge t ~core t.hooks.overhead_category overhead;
+          match t.states.(core) with
+          | Switching s ->
+              let next =
+                (* The chosen thread may have exited/been killed while the
+                   switch was in flight. *)
+                match s.next with
+                | Some th when Uthread.state th = Uthread.Exited -> None
+                | n -> n
+              in
+              land_switch t ~core ~next;
+              if s.preempt_after then preempt t ~core ~overhead:0
+          | Stopped | Idle _ | Executing _ -> ())
+    in
+    t.states.(core) <- Switching { next; handle; preempt_after = false }
+  end
+
+and land_switch t ~core ~next =
+  match next with
+  | Some th -> start_thread t ~core th
+  | None -> (
+      (* Re-poll once: work may have arrived during the switch. *)
+      match t.hooks.pick_next ~core with
+      | Some th -> start_thread t ~core th
+      | None ->
+          t.states.(core) <- Idle { since = now t };
+          Hw.Umwait.enter (Hw.Core.umwait (hw_core t core)) ~at:(now t);
+          t.hooks.on_idle ~core)
+
+and start_thread t ~core th =
+  Uthread.set_state th (Uthread.Running core);
+  observe t (Run { core; thread = th; at = now t });
+  t.hooks.on_run ~core th;
+  exec_segment t ~core th
+
+and exec_segment t ~core th =
+  let action = Uthread.next_action th ~now:(now t) in
+  match action with
+  | Uthread.Park ->
+      Uthread.set_state th Uthread.Parked;
+      observe t (Deschedule { core; thread = th; at = now t });
+      t.hooks.on_descheduled ~core th;
+      t.hooks.on_park ~core th;
+      free_core t ~core ~kind:Park_switch ~extra:0
+  | Uthread.Exit ->
+      Uthread.set_state th Uthread.Exited;
+      observe t (Deschedule { core; thread = th; at = now t });
+      t.hooks.on_descheduled ~core th;
+      t.hooks.on_exit ~core th;
+      free_core t ~core ~kind:Exit_switch ~extra:0
+  | Uthread.Compute { ns; _ } -> run_timed t ~core th action ~effective:ns
+  | Uthread.Syscall { ns; _ } -> run_timed t ~core th action ~effective:ns
+  | Uthread.Runtime_work { ns; _ } -> run_timed t ~core th action ~effective:ns
+  | Uthread.Mem_work { ns; footprint; _ } ->
+      let c = cost t in
+      let extra =
+        match footprint with
+        | None -> 0
+        | Some (base, len) ->
+            (* A footprint sweep reads and writes every word of each
+               line: 16 word accesses per 64-byte line. Misses overlap in
+               the memory pipeline, so each costs only the streaming
+               stall, not the full DRAM latency. *)
+            let cache = Hw.Machine.cache t.machine in
+            let before = Hw.Cache.misses cache in
+            Hw.Cache.access_run cache ~word_accesses:16 ~addr:base ~len ();
+            (Hw.Cache.misses cache - before) * c.Hw.Cost_model.cache_miss_stall
+      in
+      let congestion = Hw.Membw.congestion (Hw.Machine.membw t.machine) in
+      let effective =
+        int_of_float (Float.round (float_of_int (ns + extra) *. congestion))
+      in
+      run_timed t ~core th action ~effective
+
+and run_timed t ~core th action ~effective =
+  let effective = max 0 effective in
+  let started = now t in
+  let handle =
+    Sim.schedule_after (sim t) ~delay:effective (fun _ ->
+        complete_segment t ~core th action ~effective)
+  in
+  t.states.(core) <- Executing { th; action; started; effective; handle }
+
+and complete_segment t ~core th action ~effective =
+  charge t ~core (action_category t th action) effective;
+  (match action with
+  | Uthread.Compute _ | Uthread.Mem_work _ -> Uthread.charge th effective
+  | Uthread.Syscall _ | Uthread.Runtime_work _ | Uthread.Park | Uthread.Exit ->
+      ());
+  (match action with
+  | Uthread.Mem_work { bytes; _ } when bytes > 0 ->
+      Hw.Membw.consume (Hw.Machine.membw t.machine) ~app:(Uthread.app th)
+        ~bytes ~at:(now t)
+  | _ -> ());
+  (match action_completion action with Some f -> f (now t) | None -> ());
+  exec_segment t ~core th
+
+and preempt t ~core ~overhead =
+  match t.states.(core) with
+  | Stopped -> ()
+  | Idle _ -> notify t ~core
+  | Switching s -> s.preempt_after <- true
+  | Executing { th; action; started; effective; handle } ->
+      Sim.cancel handle;
+      let executed = min effective (now t - started) in
+      charge t ~core (action_category t th action) executed;
+      (match action with
+      | Uthread.Compute _ | Uthread.Mem_work _ -> Uthread.charge th executed
+      | _ -> ());
+      (* Partial memory traffic is billed pro rata; the remainder keeps
+         the rest (Uthread.save_remainder scales bytes with ns). *)
+      (match action with
+      | Uthread.Mem_work { bytes; _ } when bytes > 0 && effective > 0 ->
+          Hw.Membw.consume (Hw.Machine.membw t.machine) ~app:(Uthread.app th)
+            ~bytes:(bytes * executed / effective)
+            ~at:(now t)
+      | _ -> ());
+      if executed < effective then begin
+        (* Rebase the in-flight action on its effective duration so the
+           split arithmetic is consistent with what actually ran. *)
+        let inflight =
+          match action with
+          | Uthread.Compute c -> Uthread.Compute { c with ns = effective }
+          | Uthread.Mem_work m -> Uthread.Mem_work { m with ns = effective }
+          | Uthread.Syscall s -> Uthread.Syscall { s with ns = effective }
+          | Uthread.Runtime_work r ->
+              Uthread.Runtime_work { r with ns = effective }
+          | (Uthread.Park | Uthread.Exit) as a -> a
+        in
+        Uthread.save_remainder th inflight ~executed
+      end
+      else begin
+        (* The segment had in fact just finished: deliver its completion. *)
+        match action_completion action with Some f -> f (now t) | None -> ()
+      end;
+      Uthread.set_state th Uthread.Ready;
+      observe t (Deschedule { core; thread = th; at = now t });
+      t.hooks.on_descheduled ~core th;
+      t.hooks.on_preempted ~core th;
+      free_core t ~core ~kind:Preempt_switch ~extra:overhead
+
+and notify t ~core =
+  match t.states.(core) with
+  | Idle { since } ->
+      let c = cost t in
+      charge t ~core Stats.Cycle_account.Idle (now t - since);
+      Hw.Umwait.wake (Hw.Core.umwait (hw_core t core)) ~at:(now t);
+      free_core t ~core ~kind:Idle_wake ~extra:c.Hw.Cost_model.umwait_wake
+  | Stopped | Switching _ | Executing _ -> ()
+
+let start t ~core =
+  match t.states.(core) with
+  | Stopped -> free_core t ~core ~kind:Initial ~extra:0
+  | _ -> invalid_arg "Exec.start: core already started"
+
+let start_all t =
+  for core = 0 to Array.length t.states - 1 do
+    start t ~core
+  done
+
+let current t ~core =
+  match t.states.(core) with
+  | Executing { th; _ } -> Some th
+  | Switching { next; _ } -> next
+  | Stopped | Idle _ -> None
+
+let is_idle t ~core = match t.states.(core) with Idle _ -> true | _ -> false
+
+let stop t ~core =
+  (match t.states.(core) with
+  | Executing { th; action; started; effective; handle } ->
+      Sim.cancel handle;
+      let executed = min effective (now t - started) in
+      charge t ~core (action_category t th action) executed;
+      Uthread.set_state th Uthread.Ready
+  | Switching { handle; _ } -> Sim.cancel handle
+  | Idle { since } -> charge t ~core Stats.Cycle_account.Idle (now t - since)
+  | Stopped -> ());
+  (match t.states.(core) with
+  | Idle _ -> Hw.Umwait.wake (Hw.Core.umwait (hw_core t core)) ~at:(now t)
+  | _ -> ());
+  t.states.(core) <- Stopped
+
+let running_threads t =
+  Array.to_list t.states
+  |> List.filter_map (function Executing { th; _ } -> Some th | _ -> None)

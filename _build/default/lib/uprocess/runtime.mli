@@ -1,0 +1,124 @@
+(** The privileged uProcess runtime of one scheduling domain (sections
+    4.3-4.5, 5.2).
+
+    Owns the per-core FIFO task queues and the global best-effort queue,
+    implements the executor hooks (the local half of VESSEL's one-level
+    policy: pop your FIFO, else take best-effort work, else go idle and
+    tell the scheduler), performs the Figure-6 context switch — the
+    CPUID_TO_TASK_MAP update and the core's PKRU flip really happen on
+    every dispatch — and handles Uintr- and kernel-initiated signals
+    through the per-core command queues.
+
+    The scheduler (the global half of the policy, in [vessel_sched]) talks
+    to the runtime exclusively through the queue-inspection and
+    assign/preempt calls below. *)
+
+type t
+
+val create :
+  machine:Vessel_hw.Machine.t ->
+  smas:Vessel_mem.Smas.t ->
+  unit ->
+  t
+(** Wires the Uintr fabric (one receiver per core, the scheduler's UITT),
+    the call gate, the message pipe and the executor. Cores are not
+    started; call {!start}. *)
+
+val machine : t -> Vessel_hw.Machine.t
+val smas : t -> Vessel_mem.Smas.t
+val pipe : t -> Message_pipe.t
+val gate : t -> Call_gate.t
+val exec : t -> Exec.t
+val syscalls : t -> Syscall.t
+val signals : t -> Signal.t
+
+val start : ?cores:int list -> t -> unit
+(** Start the execute loop on the given cores (default: all). A domain
+    configured over a subset of the machine leaves the rest to other
+    domains or to Linux (section 3.1: "the scheduler can be configured to
+    manage a subset of cores"). *)
+
+val stop : ?cores:int list -> t -> unit
+
+(* --- uProcess registry --- *)
+
+val register_uprocess : t -> Uprocess.t -> unit
+val uprocess : t -> slot:int -> Uprocess.t option
+
+val unregister_uprocess : t -> slot:int -> unit
+(** Forget a killed uProcess whose threads are all reaped (the manager's
+    reclamation path). Raises if it is still alive or has live threads. *)
+
+val kill_uprocess : t -> slot:int -> unit
+(** Marks the uProcess killed, pushes kill commands to the cores currently
+    running its threads and Uintrs them; queued threads are reaped at the
+    next privileged-mode entry of their cores. *)
+
+val kill_thread : t -> tid:int -> unit
+(** Terminate one thread (section 5.3: the kernel cannot address
+    userspace threads, so this is the sigqueue-with-tid path through the
+    runtime). A parked or queued thread is reaped at the next privileged
+    entry; a running one is Uintr-preempted. *)
+
+val raise_fault : t -> slot:int -> reason:string -> unit
+(** The section-4.3 fault path: broadcast to the uProcess's cores via the
+    command queues (no Uintr — handled at the next scheduling event). *)
+
+(* --- threads --- *)
+
+val spawn :
+  t ->
+  uproc:Uprocess.t ->
+  app:int ->
+  priority:Uthread.priority ->
+  name:string ->
+  step:(now:Vessel_engine.Time.t -> Uthread.action) ->
+  stack:Vessel_mem.Addr.t ->
+  core:int ->
+  Uthread.t
+(** pthread_create under VESSEL: builds the context, registers the tid and
+    enqueues on [core]'s FIFO (waking it if idle). *)
+
+val thread : t -> tid:int -> Uthread.t option
+
+val wake_thread : t -> Uthread.t -> core:int -> unit
+(** Re-ready a [Parked] thread onto a core's FIFO (request arrival). No-op
+    if the thread is not parked. *)
+
+(* --- scheduler interface --- *)
+
+val queue_length : t -> core:int -> int
+val queue_delay : t -> core:int -> Vessel_engine.Time.t
+val be_queue_length : t -> int
+val current_thread : t -> core:int -> Uthread.t option
+val is_idle : t -> core:int -> bool
+
+val assign : t -> Uthread.t -> core:int -> unit
+(** Append a Ready thread to a core's FIFO and notify the core. *)
+
+val assign_be : t -> Uthread.t -> unit
+(** Push to the global best-effort queue and notify some idle core. *)
+
+val steal_queued : t -> core:int -> Uthread.t option
+(** Remove the oldest queued thread from a core's FIFO (the scheduler's
+    rebalancing pop — not a preemption). *)
+
+val preempt_core : t -> core:int -> Signal.command list -> unit
+(** The section-4.3 preemption: push the commands, then senduipi to the
+    victim core; its handler drains the queue in privileged mode and the
+    executor splits the running segment. *)
+
+val set_idle_callback : t -> (core:int -> unit) -> unit
+(** Invoked whenever a core runs out of work (after the local BE fallback
+    also came up empty). *)
+
+val switch_latencies : t -> Vessel_stats.Histogram.t
+(** Every park-path context-switch latency observed — the Table 1 data. *)
+
+val set_tracing : t -> bool -> unit
+(** When on, the runtime records the Figure-6 stages into the machine's
+    trace ring: [uintr.send] (scheduler -> victim), [uintr.handle]
+    (handler entry in privileged mode), [dispatch] (task map updated, PKRU
+    flipped). Off by default — tracing allocates per event. *)
+
+val ncores : t -> int

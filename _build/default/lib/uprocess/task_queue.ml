@@ -1,0 +1,93 @@
+type entry = {
+  thread : Uthread.t;
+  at : Vessel_engine.Time.t;
+  mutable dead : bool;
+}
+
+type t = {
+  q : entry Queue.t;
+  mutable front : entry list; (* prepended entries, newest first *)
+  present : (int, entry) Hashtbl.t; (* tid -> live entry *)
+}
+
+let create () = { q = Queue.create (); front = []; present = Hashtbl.create 16 }
+
+let add_present t th e =
+  let tid = Uthread.tid th in
+  if Hashtbl.mem t.present tid then
+    invalid_arg (Printf.sprintf "Task_queue: tid %d already queued" tid);
+  Hashtbl.add t.present tid e
+
+let push t th ~now =
+  let e = { thread = th; at = now; dead = false } in
+  add_present t th e;
+  Queue.push e t.q
+
+let push_front t th ~now =
+  let e = { thread = th; at = now; dead = false } in
+  add_present t th e;
+  t.front <- e :: t.front
+
+(* Discard lazily-removed entries at the head of both stores. *)
+let rec settle t =
+  match t.front with
+  | e :: rest when e.dead ->
+      t.front <- rest;
+      settle t
+  | _ :: _ -> ()
+  | [] -> (
+      match Queue.peek_opt t.q with
+      | Some e when e.dead ->
+          ignore (Queue.pop t.q);
+          settle t
+      | _ -> ())
+
+let take t =
+  settle t;
+  match t.front with
+  | e :: rest ->
+      t.front <- rest;
+      Some e
+  | [] -> Queue.take_opt t.q
+
+let pop t =
+  match take t with
+  | None -> None
+  | Some e ->
+      Hashtbl.remove t.present (Uthread.tid e.thread);
+      Some (e.thread, e.at)
+
+let peek t =
+  settle t;
+  match t.front with
+  | e :: _ -> Some (e.thread, e.at)
+  | [] -> (
+      match Queue.peek_opt t.q with
+      | Some e -> Some (e.thread, e.at)
+      | None -> None)
+
+let mem t th = Hashtbl.mem t.present (Uthread.tid th)
+
+let remove t th =
+  match Hashtbl.find_opt t.present (Uthread.tid th) with
+  | Some e ->
+      e.dead <- true;
+      Hashtbl.remove t.present (Uthread.tid th);
+      true
+  | None -> false
+
+let length t = Hashtbl.length t.present
+
+let is_empty t = length t = 0
+
+let head_delay t ~now =
+  match peek t with Some (_, at) -> max 0 (now - at) | None -> 0
+
+let iter t f =
+  List.iter (fun e -> if not e.dead then f e.thread) t.front;
+  Queue.iter (fun e -> if not e.dead then f e.thread) t.q
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun th -> acc := th :: !acc);
+  List.rev !acc

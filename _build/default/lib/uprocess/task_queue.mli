@@ -1,0 +1,40 @@
+(** FIFO thread queues.
+
+    The runtime keeps one per core ("per-core FIFO queues to track the
+    threads running on each core", section 4.5) plus one global best-effort
+    queue. Supports O(1) push/pop and targeted removal (needed when the
+    scheduler re-dispatches a queued thread to another core). Also records
+    each thread's enqueue time so queueing delay — the scheduler's primary
+    overload metric — falls out for free. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> Uthread.t -> now:Vessel_engine.Time.t -> unit
+(** Append. Raises if the thread is already in this queue. *)
+
+val push_front : t -> Uthread.t -> now:Vessel_engine.Time.t -> unit
+(** Prepend — used for directed scheduling commands that must run next. *)
+
+val pop : t -> (Uthread.t * Vessel_engine.Time.t) option
+(** Oldest thread and the time it was enqueued. *)
+
+val peek : t -> (Uthread.t * Vessel_engine.Time.t) option
+
+val remove : t -> Uthread.t -> bool
+(** Targeted removal; [false] if not present. O(1) amortized (lazy). *)
+
+val mem : t -> Uthread.t -> bool
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val head_delay : t -> now:Vessel_engine.Time.t -> Vessel_engine.Time.t
+(** Queueing delay of the oldest entry; 0 when empty. *)
+
+val iter : t -> (Uthread.t -> unit) -> unit
+(** In FIFO order. *)
+
+val to_list : t -> Uthread.t list

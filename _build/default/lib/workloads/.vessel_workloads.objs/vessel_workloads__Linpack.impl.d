@@ -1,0 +1,1 @@
+lib/workloads/linpack.ml: Printf Vessel_sched Vessel_uprocess

@@ -1,0 +1,1 @@
+lib/workloads/linpack.mli: Vessel_sched Vessel_uprocess

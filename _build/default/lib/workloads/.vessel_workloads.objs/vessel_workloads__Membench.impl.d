@@ -1,0 +1,1 @@
+lib/workloads/membench.ml: Printf Vessel_sched Vessel_uprocess

@@ -1,0 +1,1 @@
+lib/workloads/membench.mli: Vessel_engine Vessel_sched Vessel_uprocess

@@ -1,0 +1,1 @@
+lib/workloads/memcached.ml: Openloop Printf Vessel_engine Vessel_sched

@@ -1,0 +1,1 @@
+lib/workloads/memcached.mli: Openloop Vessel_engine Vessel_sched

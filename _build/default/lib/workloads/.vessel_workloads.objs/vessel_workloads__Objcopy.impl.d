@@ -1,0 +1,1 @@
+lib/workloads/objcopy.ml: Vessel_sched Vessel_uprocess

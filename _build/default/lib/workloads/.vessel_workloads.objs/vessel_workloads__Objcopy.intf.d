@@ -1,0 +1,1 @@
+lib/workloads/objcopy.mli: Vessel_sched Vessel_uprocess

@@ -1,0 +1,1 @@
+lib/workloads/openloop.ml: Float Queue Vessel_engine Vessel_sched Vessel_stats Vessel_uprocess

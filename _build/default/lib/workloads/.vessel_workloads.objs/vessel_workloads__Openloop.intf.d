@@ -1,0 +1,1 @@
+lib/workloads/openloop.mli: Vessel_engine Vessel_sched Vessel_stats Vessel_uprocess

@@ -1,0 +1,1 @@
+lib/workloads/silo.ml: Openloop Printf Vessel_engine Vessel_sched

@@ -1,0 +1,1 @@
+lib/workloads/silo.mli: Openloop Vessel_engine Vessel_sched

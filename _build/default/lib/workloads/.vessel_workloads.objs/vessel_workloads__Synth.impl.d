@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Openloop Printf Vessel_sched Vessel_uprocess

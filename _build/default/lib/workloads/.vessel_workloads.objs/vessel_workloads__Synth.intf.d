@@ -1,0 +1,1 @@
+lib/workloads/synth.mli: Openloop Vessel_engine Vessel_sched Vessel_uprocess

@@ -1,0 +1,72 @@
+(** Kernel-bypass network/storage dataplanes (section 5.2.5).
+
+    The paper reuses Caladan's network dataplane and SPDK, with two
+    VESSEL-specific changes that this module reproduces:
+
+    - the busy-polling completion loops are {e instrumented with park()
+      calls} so a thread spinning on an empty device queue hands its core
+      back instead of occupying it ("to avoid threads running inside
+      uProcesses from occupying CPU cores for too long when they
+      busy-spin on completion");
+    - the software queues are {e exposed to the scheduler} to assist its
+      decisions ({!rx_depth}, {!inflight}).
+
+    Two device models: a NIC whose RX queue is fed by an external traffic
+    source, and an SSD whose completions arrive a device-latency after
+    each submitted command. *)
+
+type t
+
+val create_nic :
+  sim:Vessel_engine.Sim.t ->
+  sys:Vessel_sched.Sched_intf.system ->
+  app_id:int ->
+  unit ->
+  t
+(** An RX queue owned by [app_id]. Arriving packets nudge the scheduler
+    exactly like request arrivals. *)
+
+val create_ssd :
+  sim:Vessel_engine.Sim.t ->
+  sys:Vessel_sched.Sched_intf.system ->
+  app_id:int ->
+  ?device_latency:Vessel_engine.Dist.t ->
+  unit ->
+  t
+(** A submission/completion queue pair. Default device latency: 10 us
+    lognormal-ish flash read. *)
+
+val rx :
+  t -> at:Vessel_engine.Time.t -> unit
+(** NIC only: one packet arrives (the experiment's traffic source calls
+    this, usually from a Poisson chain). *)
+
+val submit : t -> now:Vessel_engine.Time.t -> unit
+(** SSD only: enqueue one command; its completion is posted after the
+    sampled device latency. *)
+
+val poller_step :
+  t ->
+  ?batch:int ->
+  ?proc_ns:int ->
+  ?poll_ns:int ->
+  unit ->
+  now:Vessel_engine.Time.t ->
+  Vessel_uprocess.Uthread.action
+(** The instrumented poll loop, as a worker step function: drain up to
+    [batch] completions/packets (costing [proc_ns] each), else poll for
+    [poll_ns] once, then park until the next arrival wakes the app.
+    Defaults: batch 16, 600 ns per item, 200 ns poll probes. *)
+
+(* --- what the scheduler sees --- *)
+
+val rx_depth : t -> int
+(** Items waiting in the device queue right now. *)
+
+val inflight : t -> int
+(** SSD: submitted commands whose completion has not yet been posted. *)
+
+val processed : t -> int
+
+val latencies : t -> Vessel_stats.Histogram.t
+(** Arrival/submission to processing completion. *)

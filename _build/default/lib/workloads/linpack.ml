@@ -1,0 +1,26 @@
+module S = Vessel_sched
+module U = Vessel_uprocess
+
+type t = { mutable completed : int; mutable threads : U.Uthread.t list }
+
+let make ~sys ~app_id ~workers ?(chunk = 20_000) () =
+  sys.S.Sched_intf.add_app
+    { S.Sched_intf.id = app_id; name = "linpack"; class_ = S.Sched_intf.Best_effort };
+  let t = { completed = 0; threads = [] } in
+  for i = 0 to workers - 1 do
+    let th =
+      sys.S.Sched_intf.add_worker ~app_id
+        ~name:(Printf.sprintf "linpack-w%d" i)
+        ~step:(fun ~now:_ ->
+          U.Uthread.Compute
+            {
+              ns = chunk;
+              on_complete = Some (fun _ -> t.completed <- t.completed + chunk);
+            })
+    in
+    t.threads <- th :: t.threads
+  done;
+  t
+
+let completed_ns t = t.completed
+let threads t = t.threads

@@ -1,0 +1,21 @@
+(** The parallel Linpack best-effort app (section 6.1): pure floating-point
+    compute in blocked panels. Work-conserving — it soaks up whatever CPU
+    the scheduler leaves over; throughput is the completed compute time,
+    which the figures normalize against a run-alone baseline. *)
+
+type t
+
+val make :
+  sys:Vessel_sched.Sched_intf.system ->
+  app_id:int ->
+  workers:int ->
+  ?chunk:int ->
+  unit ->
+  t
+(** Registers the (best-effort) app and [workers] panel threads, each
+    computing in [chunk]-ns blocks (default 20 us — a DGEMM panel). *)
+
+val completed_ns : t -> int
+(** Total compute completed — the "B-app throughput" quantity. *)
+
+val threads : t -> Vessel_uprocess.Uthread.t list

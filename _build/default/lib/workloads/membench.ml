@@ -1,0 +1,56 @@
+module S = Vessel_sched
+module U = Vessel_uprocess
+
+type t = {
+  mutable completed : int;
+  mutable bytes : int;
+  mutable threads : U.Uthread.t list;
+}
+
+let full_rate ~mem_ns ~compute_ns ~bytes_per_ns =
+  float_of_int (mem_ns * bytes_per_ns) /. float_of_int (mem_ns + compute_ns)
+
+let make ~sys ~app_id ~workers ?(mem_ns = 5_000) ?(compute_ns = 5_000)
+    ?(bytes_per_ns = 8) ?(step_wrapper = fun step -> step) () =
+  sys.S.Sched_intf.add_app
+    { S.Sched_intf.id = app_id; name = "membench"; class_ = S.Sched_intf.Best_effort };
+  let t = { completed = 0; bytes = 0; threads = [] } in
+  for i = 0 to workers - 1 do
+    let mem_phase = ref true in
+    let base_step ~now:_ =
+      if !mem_phase then begin
+        mem_phase := false;
+        let bytes = mem_ns * bytes_per_ns in
+        U.Uthread.Mem_work
+          {
+            ns = mem_ns;
+            bytes;
+            footprint = None;
+            on_complete =
+              Some
+                (fun _ ->
+                  t.completed <- t.completed + mem_ns;
+                  t.bytes <- t.bytes + bytes);
+          }
+      end
+      else begin
+        mem_phase := true;
+        U.Uthread.Compute
+          {
+            ns = compute_ns;
+            on_complete = Some (fun _ -> t.completed <- t.completed + compute_ns);
+          }
+      end
+    in
+    let th =
+      sys.S.Sched_intf.add_worker ~app_id
+        ~name:(Printf.sprintf "membench-w%d" i)
+        ~step:(step_wrapper base_step)
+    in
+    t.threads <- th :: t.threads
+  done;
+  t
+
+let completed_ns t = t.completed
+let bytes_moved t = t.bytes
+let threads t = t.threads

@@ -1,0 +1,32 @@
+(** membench (section 6.1): the memory-intensive best-effort app that
+    "continually repeats two phases, memory access and calculation, to
+    simulate the behavior of current data processing applications". The
+    memory phase streams at [bytes_per_ns] through the memory controller;
+    the calculation phase is pure compute. *)
+
+type t
+
+val make :
+  sys:Vessel_sched.Sched_intf.system ->
+  app_id:int ->
+  workers:int ->
+  ?mem_ns:int ->
+  ?compute_ns:int ->
+  ?bytes_per_ns:int ->
+  ?step_wrapper:
+    ((now:Vessel_engine.Time.t -> Vessel_uprocess.Uthread.action) ->
+    now:Vessel_engine.Time.t ->
+    Vessel_uprocess.Uthread.action) ->
+  unit ->
+  t
+(** Defaults: 5 us memory phases at 8 bytes/ns, 5 us compute phases.
+    [step_wrapper] lets a regulator (cgroup quota, VESSEL's
+    {!Vessel_sched.Bw_regulator}) interpose on the phase loop. *)
+
+val completed_ns : t -> int
+val bytes_moved : t -> int
+val threads : t -> Vessel_uprocess.Uthread.t list
+
+val full_rate : mem_ns:int -> compute_ns:int -> bytes_per_ns:int -> float
+(** The unthrottled average bandwidth (bytes/ns) of one worker: traffic
+    only flows during memory phases. *)

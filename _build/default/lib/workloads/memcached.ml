@@ -1,0 +1,25 @@
+module Dist = Vessel_engine.Dist
+module S = Vessel_sched
+
+(* 90% reads at ~0.85us, 10% writes at ~2.35us => 1.0us mean. Each op has
+   a ~300ns parse/hash floor. *)
+let service_dist =
+  Dist.mixture
+    [
+      (0.9, Dist.shifted 300. (Dist.exponential ~mean:550.));
+      (0.1, Dist.shifted 300. (Dist.exponential ~mean:2050.));
+    ]
+
+let mean_service_ns = Dist.mean service_dist
+
+let make ~sim ~sys ~app_id ~workers () =
+  sys.S.Sched_intf.add_app
+    { S.Sched_intf.id = app_id; name = "memcached"; class_ = S.Sched_intf.Latency_critical };
+  let gen = Openloop.create ~sim ~sys ~app_id ~service:service_dist in
+  for i = 0 to workers - 1 do
+    ignore
+      (sys.S.Sched_intf.add_worker ~app_id
+         ~name:(Printf.sprintf "mc-w%d" i)
+         ~step:(Openloop.worker_step gen))
+  done;
+  gen

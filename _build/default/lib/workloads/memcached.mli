@@ -1,0 +1,21 @@
+(** Memcached under Facebook's USR request mix (section 6.1): reads and
+    writes averaging 1 us of service. USR is dominated by small GETs with
+    a minority of heavier SETs; the mixture below reproduces the 1 us mean
+    and the mild variability the paper relies on ("short request service
+    time"). *)
+
+val service_dist : Vessel_engine.Dist.t
+(** Mean 1 us: 90% GETs (~0.85 us) and 10% SETs (~2.35 us), each with a
+    fixed protocol floor plus an exponential body. *)
+
+val mean_service_ns : float
+
+val make :
+  sim:Vessel_engine.Sim.t ->
+  sys:Vessel_sched.Sched_intf.system ->
+  app_id:int ->
+  workers:int ->
+  unit ->
+  Openloop.t
+(** Register the app (latency-critical) plus [workers] server threads and
+    return its load generator. *)

@@ -1,0 +1,34 @@
+(** The object-copy workload of the cache-friendliness experiment
+    (section 6.3.2, Figure 11): two single-threaded apps on one core, each
+    randomly reading and writing objects with a uniform distribution over
+    its working set.
+
+    The working-set placement is the experiment's independent variable:
+    under VESSEL both apps live in one SMAS whose allocator lays their
+    regions out disjointly (they co-reside in the physically-indexed LLC);
+    under separate kProcesses their hot pages collide in the same cache
+    sets, so every switch thrashes. The caller supplies each app's
+    [region] accordingly. *)
+
+type t
+
+val make :
+  sys:Vessel_sched.Sched_intf.system ->
+  app_id:int ->
+  name:string ->
+  region:int * int ->
+  ?object_bytes:int ->
+  ?objects_per_batch:int ->
+  ?park_every:int ->
+  unit ->
+  t
+(** One worker copying [object_bytes] objects (default 4 KiB) in batches
+    (default 16 per batch, ~1.3 us of work per object), parking every
+    [park_every] batches (default 4) so the core actually ping-pongs. The
+    copy loop walks the region sequentially, wrapping around. *)
+
+val copied_objects : t -> int
+val completion_time_ns : t -> int
+(** Total busy time consumed so far (the Figure 11 "completion time"). *)
+
+val thread : t -> Vessel_uprocess.Uthread.t

@@ -1,0 +1,151 @@
+module Sim = Vessel_engine.Sim
+module Dist = Vessel_engine.Dist
+module Rng = Vessel_engine.Rng
+module U = Vessel_uprocess
+module S = Vessel_sched
+module Stats = Vessel_stats
+
+type t = {
+  sim : Sim.t;
+  sys : S.Sched_intf.system;
+  app_id : int;
+  service : Dist.t;
+  rng : Rng.t;
+  requests : int Queue.t; (* arrival timestamps *)
+  latencies : Stats.Histogram.t;
+  mutable window_start : int;
+  mutable offered : int;
+  mutable served : int;
+  mutable arrivals_until : int;
+  mutable rate_rps : float;
+  mutable epoch : int; (* invalidates stale arrival chains on rate change *)
+  mutable ingress : (now:int -> int) option;
+}
+
+let create ~sim ~sys ~app_id ~service =
+  {
+    sim;
+    sys;
+    app_id;
+    service;
+    rng = Rng.split (Sim.rng sim);
+    requests = Queue.create ();
+    latencies = Stats.Histogram.create ();
+    window_start = 0;
+    offered = 0;
+    served = 0;
+    arrivals_until = 0;
+    rate_rps = 0.;
+    epoch = 0;
+    ingress = None;
+  }
+
+let in_window t at = at >= t.window_start
+
+let completion t arrived =
+  Some
+    (fun finished ->
+      if in_window t arrived then begin
+        t.served <- t.served + 1;
+        Stats.Histogram.record t.latencies (max 0 (finished - arrived))
+      end)
+
+let sample_service t =
+  max 1 (int_of_float (Float.round (Dist.sample t.service t.rng)))
+
+let worker_step t ~now:_ =
+  match Queue.take_opt t.requests with
+  | None -> U.Uthread.Park
+  | Some arrived ->
+      U.Uthread.Compute
+        { ns = sample_service t; on_complete = completion t arrived }
+
+let worker_step_mem t ~bytes_per_req ~now:_ =
+  match Queue.take_opt t.requests with
+  | None -> U.Uthread.Park
+  | Some arrived ->
+      U.Uthread.Mem_work
+        {
+          ns = sample_service t;
+          bytes = bytes_per_req;
+          footprint = None;
+          on_complete = completion t arrived;
+        }
+
+let deliver t ~arrived =
+  Queue.push arrived t.requests;
+  t.sys.S.Sched_intf.notify_app ~app_id:t.app_id
+
+let inject t =
+  let at = Sim.now t.sim in
+  if in_window t at then t.offered <- t.offered + 1;
+  match t.ingress with
+  | None -> deliver t ~arrived:at
+  | Some f -> (
+      match f ~now:at with
+      | d when d <= 0 -> deliver t ~arrived:at
+      | d ->
+          ignore
+            (Sim.schedule_after t.sim ~delay:d (fun _ -> deliver t ~arrived:at)))
+
+let set_ingress t f = t.ingress <- Some f
+
+let rec arrival_chain t ~epoch sim =
+  if epoch = t.epoch && Sim.now sim < t.arrivals_until then begin
+    inject t;
+    schedule_next t ~epoch
+  end
+
+and schedule_next t ~epoch =
+  let mean_gap = 1e9 /. t.rate_rps in
+  let gap =
+    max 1
+      (int_of_float
+         (Float.round (Dist.sample (Dist.exponential ~mean:mean_gap) t.rng)))
+  in
+  if Sim.now t.sim + gap < t.arrivals_until then
+    ignore (Sim.schedule_after t.sim ~delay:gap (arrival_chain t ~epoch))
+
+let start t ~rate_rps ~until =
+  if rate_rps <= 0. then invalid_arg "Openloop.start: rate must be positive";
+  t.epoch <- t.epoch + 1;
+  t.rate_rps <- rate_rps;
+  t.arrivals_until <- until;
+  schedule_next t ~epoch:t.epoch
+
+let stop_arrivals t = t.epoch <- t.epoch + 1
+
+let start_bursty t ~base_rps ~burst_rps ~burst_len ~period ~until =
+  if base_rps <= 0. || burst_rps <= 0. then
+    invalid_arg "Openloop.start_bursty: rates must be positive";
+  if burst_len <= 0 || period <= burst_len then
+    invalid_arg "Openloop.start_bursty: need 0 < burst_len < period";
+  let rec phase sim =
+    if Sim.now sim < until then begin
+      start t ~rate_rps:burst_rps ~until:(min until (Sim.now sim + burst_len));
+      ignore
+        (Sim.schedule_after sim ~delay:burst_len (fun sim ->
+             if Sim.now sim < until then begin
+               start t ~rate_rps:base_rps
+                 ~until:(min until (Sim.now sim + period - burst_len));
+               ignore
+                 (Sim.schedule_after sim ~delay:(period - burst_len) phase)
+             end))
+    end
+  in
+  ignore (Sim.schedule_after t.sim ~delay:0 phase)
+
+let open_window t ~at =
+  t.window_start <- at;
+  t.offered <- 0;
+  t.served <- 0;
+  Stats.Histogram.clear t.latencies
+
+let offered t = t.offered
+let served t = t.served
+let pending t = Queue.length t.requests
+let latencies t = t.latencies
+
+let throughput_rps t ~now =
+  let span = now - t.window_start in
+  if span <= 0 then 0. else float_of_int t.served /. (float_of_int span /. 1e9)

@@ -1,0 +1,16 @@
+module Dist = Vessel_engine.Dist
+module S = Vessel_sched
+
+let service_dist = Dist.lognormal_of_quantiles ~p50:20_000. ~p999:280_000.
+
+let make ~sim ~sys ~app_id ~workers () =
+  sys.S.Sched_intf.add_app
+    { S.Sched_intf.id = app_id; name = "silo"; class_ = S.Sched_intf.Latency_critical };
+  let gen = Openloop.create ~sim ~sys ~app_id ~service:service_dist in
+  for i = 0 to workers - 1 do
+    ignore
+      (sys.S.Sched_intf.add_worker ~app_id
+         ~name:(Printf.sprintf "silo-w%d" i)
+         ~step:(Openloop.worker_step gen))
+  done;
+  gen

@@ -1,0 +1,13 @@
+(** Silo stressed with TPC-C (section 6.1): "high service time variability
+    (20 us at median and 280 us at 99.9th percentile)". The lognormal is
+    fitted to exactly those two quantiles. *)
+
+val service_dist : Vessel_engine.Dist.t
+
+val make :
+  sim:Vessel_engine.Sim.t ->
+  sys:Vessel_sched.Sched_intf.system ->
+  app_id:int ->
+  workers:int ->
+  unit ->
+  Openloop.t

@@ -1,0 +1,46 @@
+module S = Vessel_sched
+module U = Vessel_uprocess
+
+let make ~sim ~sys ~app_id ~name ~class_ ~workers ~service () =
+  sys.S.Sched_intf.add_app { S.Sched_intf.id = app_id; name; class_ };
+  let gen = Openloop.create ~sim ~sys ~app_id ~service in
+  for i = 0 to workers - 1 do
+    ignore
+      (sys.S.Sched_intf.add_worker ~app_id
+         ~name:(Printf.sprintf "%s-w%d" name i)
+         ~step:(Openloop.worker_step gen))
+  done;
+  gen
+
+let pingpong_pair ~sim ~sys ~app_ids:(ida, idb) ?(burst_ns = 100) () =
+  ignore sim;
+  sys.S.Sched_intf.add_app
+    { S.Sched_intf.id = ida; name = "ping"; class_ = S.Sched_intf.Latency_critical };
+  sys.S.Sched_intf.add_app
+    { S.Sched_intf.id = idb; name = "pong"; class_ = S.Sched_intf.Latency_critical };
+  let handoffs = ref 0 in
+  let mk app_id peer_id name =
+    let burned = ref false in
+    sys.S.Sched_intf.add_worker ~app_id ~name ~step:(fun ~now:_ ->
+        if !burned then begin
+          burned := false;
+          U.Uthread.Park
+        end
+        else begin
+          burned := true;
+          U.Uthread.Compute
+            {
+              ns = burst_ns;
+              on_complete =
+                Some
+                  (fun _ ->
+                    incr handoffs;
+                    (* Hand the core to the peer: a request "arrives" for
+                       the other app the instant ours completes. *)
+                    sys.S.Sched_intf.notify_app ~app_id:peer_id);
+            }
+        end)
+  in
+  let ta = mk ida idb "ping-w0" in
+  let tb = mk idb ida "pong-w0" in
+  (ta, tb, fun () -> !handoffs)

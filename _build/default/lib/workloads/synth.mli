@@ -1,0 +1,27 @@
+(** Generic synthetic server apps: an open-loop app with an arbitrary
+    service-time distribution. Used by the microbenchmarks and by tests
+    that want full control over the workload's shape. *)
+
+val make :
+  sim:Vessel_engine.Sim.t ->
+  sys:Vessel_sched.Sched_intf.system ->
+  app_id:int ->
+  name:string ->
+  class_:Vessel_sched.Sched_intf.app_class ->
+  workers:int ->
+  service:Vessel_engine.Dist.t ->
+  unit ->
+  Openloop.t
+
+val pingpong_pair :
+  sim:Vessel_engine.Sim.t ->
+  sys:Vessel_sched.Sched_intf.system ->
+  app_ids:int * int ->
+  ?burst_ns:int ->
+  unit ->
+  Vessel_uprocess.Uthread.t * Vessel_uprocess.Uthread.t * (unit -> int)
+(** The Table-1 microbenchmark: two single-threaded apps bound to the same
+    core, each park()ing after a tiny burst; completing a burst re-readies
+    the peer, so the core alternates through pure context switches.
+    Returns both threads and a counter of completed handoffs. The caller
+    starts the chain by notifying app A once the system runs. *)

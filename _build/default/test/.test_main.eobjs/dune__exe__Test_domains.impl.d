@@ -1,0 +1,1 @@
+test/test_domains.ml: Alcotest Bytes List Option Printf Result Vessel_engine Vessel_hw Vessel_mem Vessel_sched Vessel_stats Vessel_uprocess Vessel_workloads

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Dist Event_queue Float Fun List QCheck QCheck_alcotest Rng Sim Time Trace Vessel_engine

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Exp_burst Exp_fig1 Exp_fig10 Exp_fig11 Exp_fig12 Exp_fig13 Exp_fig2 Exp_fig3 Exp_fig9 Exp_table1 Float List Option Printf Runner Vessel_experiments

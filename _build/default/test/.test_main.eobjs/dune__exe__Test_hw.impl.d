@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Cache Core Cost_model Float Ipi List Machine Membw Page Page_table Pkey Pkru QCheck QCheck_alcotest Uintr Umwait Vessel_engine Vessel_hw Vessel_stats

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Option Printf Result Vessel_engine Vessel_hw Vessel_mem Vessel_sched Vessel_stats Vessel_uprocess Vessel_workloads

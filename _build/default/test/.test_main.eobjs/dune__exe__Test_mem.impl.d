@@ -1,0 +1,1 @@
+test/test_mem.ml: Addr Alcotest Allocator Bytes Gen Image Inspect Layout List Loader QCheck QCheck_alcotest Region Result Smas String Vessel_engine Vessel_hw Vessel_mem

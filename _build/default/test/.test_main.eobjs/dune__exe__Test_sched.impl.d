@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Float List Printf Queue Vessel_engine Vessel_hw Vessel_sched Vessel_stats Vessel_uprocess

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Cycle_account Float Gen Histogram List QCheck QCheck_alcotest Series String Summary Table Timeline Vessel_stats

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float Printf Vessel_engine Vessel_hw Vessel_sched Vessel_stats Vessel_uprocess Vessel_workloads

@@ -1,0 +1,398 @@
+(* Tests for the discrete-event engine: time, RNG, distributions, the event
+   queue, the simulation driver and the trace ring. *)
+
+open Vessel_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_units () =
+  check_int "us" 1_500 (Time.us 1.5);
+  check_int "ms" 2_000_000 (Time.ms 2.);
+  check_int "s" 1_000_000_000 (Time.s 1.);
+  Alcotest.(check (float 1e-9)) "to_us" 1.5 (Time.to_us 1_500);
+  Alcotest.(check (float 1e-9)) "to_ms" 0.002 (Time.to_ms 2_000);
+  Alcotest.(check (float 1e-12)) "to_s" 1e-6 (Time.to_s 1_000)
+
+let test_time_of_cycles () =
+  (* 2.1 GHz: 21 cycles = 10 ns *)
+  check_int "21 cycles @2.1GHz" 10 (Time.of_cycles ~ghz:2.1 21);
+  check_int "zero cycles" 0 (Time.of_cycles ~ghz:2.1 0);
+  check_int "1 cycle never rounds to 0" 1 (Time.of_cycles ~ghz:3.0 1)
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "999ns" (Time.to_string 999);
+  Alcotest.(check string) "us" "1.500us" (Time.to_string 1_500);
+  Alcotest.(check string) "ms" "2.000ms" (Time.to_string 2_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits a <> Rng.bits b then differs := true
+  done;
+  check_bool "streams differ" true !differs
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:3 in
+  let c1 = Rng.split a in
+  let c2 = Rng.split a in
+  check_bool "children differ" true (Rng.bits c1 <> Rng.bits c2)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:11 in
+  let _ = Rng.bits a in
+  let b = Rng.copy a in
+  check_int "copy replays" (Rng.bits a) (Rng.bits b)
+
+let test_rng_int_range () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1_000 do
+    let v = Rng.float r in
+    check_bool "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  let r = Rng.create ~seed:5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Dist *)
+
+let sample_mean d n seed =
+  let r = Rng.create ~seed in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Dist.sample d r
+  done;
+  !total /. float_of_int n
+
+let test_dist_constant () =
+  let d = Dist.constant 42. in
+  let r = Rng.create ~seed:1 in
+  Alcotest.(check (float 0.)) "constant" 42. (Dist.sample d r);
+  Alcotest.(check (float 0.)) "mean" 42. (Dist.mean d)
+
+let test_dist_exponential_mean () =
+  let d = Dist.exponential ~mean:1000. in
+  let m = sample_mean d 50_000 2 in
+  check_bool "empirical mean near 1000" true (Float.abs (m -. 1000.) < 30.)
+
+let test_dist_uniform_mean () =
+  let d = Dist.uniform ~lo:10. ~hi:20. in
+  let m = sample_mean d 20_000 3 in
+  check_bool "mean near 15" true (Float.abs (m -. 15.) < 0.3);
+  Alcotest.(check (float 1e-9)) "analytic" 15. (Dist.mean d)
+
+let test_dist_lognormal_quantiles () =
+  (* Silo/TPC-C fit: p50 = 20us, p999 = 280us (paper section 6.1). *)
+  let d = Dist.lognormal_of_quantiles ~p50:20_000. ~p999:280_000. in
+  let r = Rng.create ~seed:4 in
+  let n = 200_000 in
+  let xs = Array.init n (fun _ -> Dist.sample d r) in
+  Array.sort compare xs;
+  let p50 = xs.(n / 2) and p999 = xs.(n * 999 / 1000) in
+  check_bool "p50 ~ 20us" true (Float.abs (p50 -. 20_000.) /. 20_000. < 0.05);
+  check_bool "p999 ~ 280us" true
+    (Float.abs (p999 -. 280_000.) /. 280_000. < 0.12)
+
+let test_dist_bimodal () =
+  let d = Dist.bimodal ~p:0.1 ~lo:1. ~hi:100. in
+  let m = sample_mean d 100_000 5 in
+  let expected = Dist.mean d in
+  Alcotest.(check (float 1e-9)) "analytic mean" 10.9 expected;
+  check_bool "empirical near analytic" true (Float.abs (m -. expected) < 0.5)
+
+let test_dist_mixture () =
+  let d = Dist.mixture [ (1., Dist.constant 2.); (3., Dist.constant 10.) ] in
+  Alcotest.(check (float 1e-9)) "weighted mean" 8. (Dist.mean d);
+  let m = sample_mean d 50_000 6 in
+  check_bool "empirical" true (Float.abs (m -. 8.) < 0.2)
+
+let test_dist_shifted () =
+  let d = Dist.shifted 5. (Dist.constant 1.) in
+  let r = Rng.create ~seed:1 in
+  Alcotest.(check (float 0.)) "shifted" 6. (Dist.sample d r)
+
+let test_dist_pareto_positive () =
+  let d = Dist.pareto ~shape:2. ~scale:3. in
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1_000 do
+    check_bool "sample >= scale" true (Dist.sample d r >= 3.)
+  done;
+  Alcotest.(check (float 1e-9)) "mean" 6. (Dist.mean d)
+
+let test_dist_invalid_args () =
+  Alcotest.check_raises "bad quantiles"
+    (Invalid_argument "Dist.lognormal_of_quantiles: need 0 < p50 < p999")
+    (fun () -> ignore (Dist.lognormal_of_quantiles ~p50:10. ~p999:5.))
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue *)
+
+let test_eq_order () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:30 "c");
+  ignore (Event_queue.add q ~time:10 "a");
+  ignore (Event_queue.add q ~time:20 "b");
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "" in
+  let x1 = pop () in
+  let x2 = pop () in
+  let x3 = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] [ x1; x2; x3 ]
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Event_queue.add q ~time:5 i)
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "insertion order at same time"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !out)
+
+let test_eq_cancel () =
+  let q = Event_queue.create () in
+  let _h1 = Event_queue.add q ~time:1 "keep1" in
+  let h2 = Event_queue.add q ~time:2 "drop" in
+  let _h3 = Event_queue.add q ~time:3 "keep2" in
+  Event_queue.cancel h2;
+  check_int "live count" 2 (Event_queue.length q);
+  let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "" in
+  let x1 = pop () in
+  let x2 = pop () in
+  Alcotest.(check (list string)) "cancelled skipped" [ "keep1"; "keep2" ]
+    [ x1; x2 ];
+  check_bool "empty" true (Event_queue.is_empty q)
+
+let test_eq_cancel_idempotent () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:1 () in
+  Event_queue.cancel h;
+  Event_queue.cancel h;
+  check_int "single decrement" 0 (Event_queue.length q)
+
+let test_eq_cancel_after_pop () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:1 () in
+  ignore (Event_queue.pop q);
+  Event_queue.cancel h;
+  check_int "no underflow" 0 (Event_queue.length q)
+
+let test_eq_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option int)) "empty peek" None (Event_queue.peek_time q);
+  ignore (Event_queue.add q ~time:42 ());
+  Alcotest.(check (option int)) "peek" (Some 42) (Event_queue.peek_time q)
+
+let prop_eq_sorted =
+  QCheck.Test.make ~name:"event_queue pops sorted" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun time -> ignore (Event_queue.add q ~time ())) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | Some (time, ()) -> drain (time :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare times)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_runs_in_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~at:200 (fun _ -> log := "b" :: !log));
+  ignore (Sim.schedule sim ~at:100 (fun _ -> log := "a" :: !log));
+  Sim.run_until sim 1_000;
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (List.rev !log);
+  check_int "clock at horizon" 1_000 (Sim.now sim)
+
+let test_sim_horizon_excludes_later () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore (Sim.schedule sim ~at:500 (fun _ -> fired := true));
+  Sim.run_until sim 499;
+  check_bool "not fired" false !fired;
+  check_int "pending" 1 (Sim.pending sim);
+  Sim.run_until sim 500;
+  check_bool "fired" true !fired
+
+let test_sim_reentrant_schedule () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick sim =
+    incr count;
+    if !count < 5 then ignore (Sim.schedule_after sim ~delay:10 tick)
+  in
+  ignore (Sim.schedule sim ~at:0 tick);
+  Sim.run_until sim 1_000;
+  check_int "chained events" 5 !count
+
+let test_sim_schedule_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~at:100 (fun _ -> ()));
+  Sim.run_until sim 100;
+  check_bool "raises" true
+    (try
+       ignore (Sim.schedule sim ~at:50 (fun _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~at:10 (fun _ -> fired := true) in
+  Sim.cancel h;
+  Sim.run_until sim 100;
+  check_bool "cancelled" false !fired
+
+let test_sim_step () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~at:7 (fun _ -> ()));
+  check_bool "step" true (Sim.step sim);
+  check_int "clock moved" 7 (Sim.now sim);
+  check_bool "exhausted" false (Sim.step sim)
+
+let test_sim_deterministic_replay () =
+  let run () =
+    let sim = Sim.create ~seed:99 () in
+    let r = Rng.split (Sim.rng sim) in
+    let acc = ref [] in
+    for _ = 1 to 10 do
+      ignore
+        (Sim.schedule_after sim ~delay:(Rng.int r 1_000) (fun sim ->
+             acc := Sim.now sim :: !acc))
+    done;
+    Sim.run_until sim 10_000;
+    !acc
+  in
+  Alcotest.(check (list int)) "replay identical" (run ()) (run ())
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_order () =
+  let t = Trace.create () in
+  Trace.record t ~at:1 ~tag:"x" "one";
+  Trace.record t ~at:2 ~tag:"y" "two";
+  let tags = List.map (fun r -> r.Trace.tag) (Trace.to_list t) in
+  Alcotest.(check (list string)) "order" [ "x"; "y" ] tags
+
+let test_trace_wraps () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record t ~at:i ~tag:"t" (string_of_int i)
+  done;
+  check_int "capped" 3 (Trace.length t);
+  let details = List.map (fun r -> r.Trace.detail) (Trace.to_list t) in
+  Alcotest.(check (list string)) "most recent" [ "3"; "4"; "5" ] details
+
+let test_trace_find_and_clear () =
+  let t = Trace.create () in
+  Trace.record t ~at:1 ~tag:"a" "";
+  Trace.record t ~at:2 ~tag:"b" "";
+  Trace.record t ~at:3 ~tag:"a" "";
+  check_int "find_all" 2 (List.length (Trace.find_all t ~tag:"a"));
+  Trace.clear t;
+  check_int "cleared" 0 (Trace.length t)
+
+let suite =
+  [
+    ( "engine.time",
+      [
+        Alcotest.test_case "unit conversions" `Quick test_time_units;
+        Alcotest.test_case "cycles to ns" `Quick test_time_of_cycles;
+        Alcotest.test_case "pretty printing" `Quick test_time_pp;
+      ] );
+    ( "engine.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+        Alcotest.test_case "int range" `Quick test_rng_int_range;
+        Alcotest.test_case "float range" `Quick test_rng_float_range;
+        Alcotest.test_case "bad bound" `Quick test_rng_int_rejects_bad_bound;
+        Alcotest.test_case "shuffle is a permutation" `Quick
+          test_rng_shuffle_permutation;
+      ] );
+    ( "engine.dist",
+      [
+        Alcotest.test_case "constant" `Quick test_dist_constant;
+        Alcotest.test_case "exponential mean" `Quick test_dist_exponential_mean;
+        Alcotest.test_case "uniform mean" `Quick test_dist_uniform_mean;
+        Alcotest.test_case "lognormal quantile fit (Silo)" `Quick
+          test_dist_lognormal_quantiles;
+        Alcotest.test_case "bimodal" `Quick test_dist_bimodal;
+        Alcotest.test_case "mixture" `Quick test_dist_mixture;
+        Alcotest.test_case "shifted" `Quick test_dist_shifted;
+        Alcotest.test_case "pareto" `Quick test_dist_pareto_positive;
+        Alcotest.test_case "invalid args" `Quick test_dist_invalid_args;
+      ] );
+    ( "engine.event_queue",
+      [
+        Alcotest.test_case "time order" `Quick test_eq_order;
+        Alcotest.test_case "FIFO tie-break" `Quick test_eq_fifo_ties;
+        Alcotest.test_case "cancel" `Quick test_eq_cancel;
+        Alcotest.test_case "cancel idempotent" `Quick test_eq_cancel_idempotent;
+        Alcotest.test_case "cancel after pop" `Quick test_eq_cancel_after_pop;
+        Alcotest.test_case "peek" `Quick test_eq_peek;
+        QCheck_alcotest.to_alcotest prop_eq_sorted;
+      ] );
+    ( "engine.sim",
+      [
+        Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
+        Alcotest.test_case "horizon" `Quick test_sim_horizon_excludes_later;
+        Alcotest.test_case "reentrant schedule" `Quick test_sim_reentrant_schedule;
+        Alcotest.test_case "past rejected" `Quick test_sim_schedule_past_rejected;
+        Alcotest.test_case "cancel" `Quick test_sim_cancel;
+        Alcotest.test_case "step" `Quick test_sim_step;
+        Alcotest.test_case "deterministic replay" `Quick
+          test_sim_deterministic_replay;
+      ] );
+    ( "engine.trace",
+      [
+        Alcotest.test_case "order" `Quick test_trace_order;
+        Alcotest.test_case "ring wraps" `Quick test_trace_wraps;
+        Alcotest.test_case "find/clear" `Quick test_trace_find_and_clear;
+      ] );
+  ]

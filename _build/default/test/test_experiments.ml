@@ -1,0 +1,271 @@
+(* Tests for the figure/table reproductions: each experiment is run at a
+   reduced scale and its headline *shape* asserted — who wins, by roughly
+   what factor, where the crossovers fall. EXPERIMENTS.md records the
+   full-scale numbers next to the paper's. *)
+
+open Vessel_experiments
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let test_table1_shape () =
+  let rows = Exp_table1.run ~duration:10_000_000 () in
+  match rows with
+  | [ vessel; caladan ] ->
+      check_bool "row order" true
+        (vessel.Exp_table1.system = "vessel"
+        && caladan.Exp_table1.system = "caladan");
+      (* Paper: 0.161us vs 2.103us — better than an order of magnitude. *)
+      check_bool
+        (Printf.sprintf "vessel avg %.3fus ~ 0.161" vessel.Exp_table1.avg_us)
+        true
+        (vessel.Exp_table1.avg_us > 0.10 && vessel.Exp_table1.avg_us < 0.25);
+      check_bool
+        (Printf.sprintf "caladan avg %.3fus ~ 2.103" caladan.Exp_table1.avg_us)
+        true
+        (caladan.Exp_table1.avg_us > 1.6 && caladan.Exp_table1.avg_us < 2.7);
+      check_bool "p999 >> avg for vessel (tail shape)" true
+        (vessel.Exp_table1.p999_us > 2. *. vessel.Exp_table1.avg_us);
+      check_bool "ordering across percentiles" true
+        (vessel.Exp_table1.p50_us <= vessel.Exp_table1.p90_us
+        && vessel.Exp_table1.p90_us <= vessel.Exp_table1.p99_us)
+  | _ -> Alcotest.fail "expected two rows"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 *)
+
+let test_fig1_shape () =
+  let rows = Exp_fig1.run ~cores:4 ~fractions:[ 0.2; 0.5; 0.8 ] () in
+  (* Paper: decline up to 18%, waste up to 17%. Accept the same order. *)
+  let decline = Exp_fig1.max_decline rows in
+  check_bool (Printf.sprintf "decline %.2f in (0.05, 0.45)" decline) true
+    (decline > 0.05 && decline < 0.45);
+  let waste = Exp_fig1.max_waste_fraction rows in
+  check_bool (Printf.sprintf "waste %.2f in (0.08, 0.45)" waste) true
+    (waste > 0.08 && waste < 0.45);
+  (* Every row leaves the ideal 1.0 unattained. *)
+  List.iter
+    (fun r -> check_bool "below ideal" true (r.Exp_fig1.normalized_total < 1.0))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 *)
+
+let test_fig2_kernel_grows () =
+  let rows = Exp_fig2.run ~instances:[ 1; 6 ] () in
+  match rows with
+  | [ one; six ] ->
+      check_bool "kernel cycles grow with density" true
+        (six.Exp_fig2.kernel_cores > one.Exp_fig2.kernel_cores);
+      check_bool "p999 grows with density" true
+        (six.Exp_fig2.p999_us > one.Exp_fig2.p999_us)
+  | _ -> Alcotest.fail "expected two rows"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 *)
+
+let test_fig3_timeline () =
+  let t = Exp_fig3.run () in
+  check_bool "seven stages" true (List.length t.Exp_fig3.stages = 7);
+  check_bool "stage total ~5.3us" true
+    (abs (t.Exp_fig3.stage_total_ns - 5_300) <= 530);
+  (* The operational measurement should land near the stage sum. *)
+  check_bool
+    (Printf.sprintf "measured %.1fus in [4, 9]" t.Exp_fig3.measured_preemption_us)
+    true
+    (t.Exp_fig3.measured_preemption_us > 4.
+    && t.Exp_fig3.measured_preemption_us < 9.)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9 *)
+
+let test_fig9_memcached_shape () =
+  let rows =
+    Exp_fig9.run ~cores:4 ~l_app:Runner.Memcached
+      ~systems:[ Runner.Vessel; Runner.Caladan ] ~fractions:[ 0.5 ] ()
+  in
+  let find sys = List.find (fun r -> r.Exp_fig9.system = sys) rows in
+  let v = find Runner.Vessel and c = find Runner.Caladan in
+  (* Headlines: VESSEL's tail well below Caladan's; VESSEL's efficiency
+     above. *)
+  check_bool
+    (Printf.sprintf "p999 vessel %.1f < caladan %.1f * 0.75" v.Exp_fig9.p999_us
+       c.Exp_fig9.p999_us)
+    true
+    (v.Exp_fig9.p999_us < 0.75 *. c.Exp_fig9.p999_us);
+  check_bool "vessel more efficient" true
+    (v.Exp_fig9.normalized_total > c.Exp_fig9.normalized_total);
+  check_bool "vessel near ideal" true (v.Exp_fig9.normalized_total > 0.88)
+
+let test_fig9_silo_amortizes () =
+  let rows =
+    Exp_fig9.run ~cores:4 ~l_app:Runner.Silo
+      ~systems:[ Runner.Vessel; Runner.Caladan ] ~fractions:[ 0.7 ] ()
+  in
+  let find sys = List.find (fun r -> r.Exp_fig9.system = sys) rows in
+  let v = find Runner.Vessel and c = find Runner.Caladan in
+  (* Long services amortize reallocation: the systems converge. *)
+  check_bool "both near ideal" true
+    (v.Exp_fig9.normalized_total > 0.9 && c.Exp_fig9.normalized_total > 0.85);
+  check_bool "tail gap small for silo" true
+    (c.Exp_fig9.p999_us < 1.6 *. v.Exp_fig9.p999_us)
+
+let test_fig9_cfs_tails_explode () =
+  let rows =
+    Exp_fig9.run ~cores:4 ~l_app:Runner.Memcached
+      ~systems:[ Runner.Linux_cfs ] ~fractions:[ 0.05 ] ()
+  in
+  match rows with
+  | [ r ] ->
+      check_bool "CFS ms-scale tail at tiny load" true
+        (r.Exp_fig9.p999_us > 1_000.)
+  | _ -> Alcotest.fail "expected one row"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 *)
+
+let test_fig10_dense_shape () =
+  let rows = Exp_fig10.run ~instances:[ 1; 10 ] ~fractions:[ 0.7; 1.1 ] () in
+  let peak sys k = Option.get (Exp_fig10.peak rows ~sys ~instances:k) in
+  let v1 = peak Runner.Vessel 1 and v10 = peak Runner.Vessel 10 in
+  let c1 = peak Runner.Caladan_dr_l 1 and c10 = peak Runner.Caladan_dr_l 10 in
+  (* Single instance: the systems match. *)
+  check_bool "single instance parity" true
+    (Float.abs (v1.Exp_fig10.aggregate_rps -. c1.Exp_fig10.aggregate_rps)
+     /. v1.Exp_fig10.aggregate_rps
+    < 0.05);
+  (* Dense: VESSEL nearly unchanged, Caladan loses substantially. *)
+  let v_decline = 1. -. (v10.Exp_fig10.aggregate_rps /. v1.Exp_fig10.aggregate_rps) in
+  let c_decline = 1. -. (c10.Exp_fig10.aggregate_rps /. c1.Exp_fig10.aggregate_rps) in
+  check_bool (Printf.sprintf "vessel decline %.2f < 0.12" v_decline) true
+    (v_decline < 0.12);
+  check_bool (Printf.sprintf "caladan decline %.2f > 0.15" c_decline) true
+    (c_decline > 0.15)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11 *)
+
+let test_fig11_cache_friendliness () =
+  let rows = Exp_fig11.run ~duration:20_000_000 () in
+  match rows with
+  | [ v; c ] ->
+      (* Paper: 0.0415% vs 4.6% — two orders of magnitude. *)
+      check_bool
+        (Printf.sprintf "vessel miss %.4f%% tiny" (100. *. v.Exp_fig11.miss_rate))
+        true (v.Exp_fig11.miss_rate < 0.002);
+      check_bool
+        (Printf.sprintf "caladan miss %.2f%% substantial"
+           (100. *. c.Exp_fig11.miss_rate))
+        true
+        (c.Exp_fig11.miss_rate > 0.01);
+      check_bool "completion gap in the 5-30% band" true
+        (v.Exp_fig11.completion_ns_per_object
+        < 0.97 *. c.Exp_fig11.completion_ns_per_object)
+  | _ -> Alcotest.fail "expected two rows"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12 (mechanism-level: the control-plane queue) *)
+
+let test_fig12_control_plane_constants () =
+  (* Inside the documented limits the per-event cost is flat; beyond, it
+     inflates. *)
+  let v = Exp_fig12.control_plane_service ~sched:Runner.Vessel in
+  let c = Exp_fig12.control_plane_service ~sched:Runner.Caladan in
+  check_bool "vessel flat to 42" true (v ~cores:32 = v ~cores:42);
+  check_bool "vessel inflates at 44" true (v ~cores:44 > v ~cores:42);
+  check_bool "caladan flat to 34" true (c ~cores:32 = c ~cores:34);
+  check_bool "caladan inflates at 40" true (c ~cores:40 > c ~cores:34);
+  (* VESSEL's scheduler handles a higher event rate (42 vs 34 cores). *)
+  check_bool "vessel cheaper per event" true (v ~cores:32 < c ~cores:32)
+
+let test_fig12_ingress_queueing () =
+  let ingress = Exp_fig12.control_plane_ingress ~service_ns:100 in
+  (* Back-to-back arrivals queue behind each other. *)
+  Alcotest.(check int) "first" 100 (ingress ~now:0);
+  Alcotest.(check int) "second queues" 200 (ingress ~now:0);
+  Alcotest.(check int) "drains over time" 100 (ingress ~now:1_000)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13 *)
+
+let test_fig13_accuracy () =
+  let rows = Exp_fig13.run_accuracy ~targets:[ 0.1; 0.5; 0.9 ] () in
+  List.iter
+    (fun r ->
+      check_bool
+        (Printf.sprintf "vessel tracks %.1f (got %.2f)" r.Exp_fig13.target
+           r.Exp_fig13.vessel_achieved)
+        true
+        (Float.abs (r.Exp_fig13.vessel_achieved -. r.Exp_fig13.target) < 0.06);
+      check_bool "mba delivers at least the target" true
+        (r.Exp_fig13.mba_achieved >= r.Exp_fig13.target -. 0.01);
+      check_bool "cfs shares uncapped on idle machine" true
+        (r.Exp_fig13.cfs_achieved > 0.95))
+    rows;
+  (* MBA overshoots hard at low settings — the paper's point. *)
+  let low = List.hd rows in
+  check_bool "mba overshoot at 10%" true (low.Exp_fig13.mba_achieved > 0.25)
+
+let test_fig13_colocation_shape () =
+  let rows = Exp_fig13.run_colocation ~cores:4 ~fractions:[ 0.5 ] () in
+  let find sys = List.find (fun r -> r.Exp_fig13.system = sys) rows in
+  let v = find Runner.Vessel and c = find Runner.Caladan in
+  check_bool "vessel tail below caladan under bw contention" true
+    (v.Exp_fig13.p999_us < c.Exp_fig13.p999_us);
+  check_bool "vessel total at least caladan's" true
+    (v.Exp_fig13.normalized_total >= 0.95 *. c.Exp_fig13.normalized_total)
+
+(* ------------------------------------------------------------------ *)
+(* Burst absorption *)
+
+let test_burst_shape () =
+  let rows =
+    Exp_burst.run ~cores:2 ~base_fraction:0.2 ~burst_fraction:1.2
+      ~burst_len:30_000 ~period:300_000 ()
+  in
+  let find sys = List.find (fun r -> r.Exp_burst.system = sys) rows in
+  let v = find Runner.Vessel and c = find Runner.Caladan in
+  check_bool "vessel rides bursts with lower tails" true
+    (v.Exp_burst.p999_us < c.Exp_burst.p999_us);
+  check_bool "vessel leaves more to the B-app" true
+    (v.Exp_burst.b_normalized > c.Exp_burst.b_normalized)
+
+let suite =
+  [
+    ( "experiments.table1",
+      [ Alcotest.test_case "switch latency shape" `Slow test_table1_shape ] );
+    ( "experiments.fig1",
+      [ Alcotest.test_case "colocation cost shape" `Slow test_fig1_shape ] );
+    ( "experiments.fig2",
+      [ Alcotest.test_case "kernel grows with density" `Slow test_fig2_kernel_grows ]
+    );
+    ( "experiments.fig3",
+      [ Alcotest.test_case "preemption timeline" `Slow test_fig3_timeline ] );
+    ( "experiments.fig9",
+      [
+        Alcotest.test_case "memcached shape" `Slow test_fig9_memcached_shape;
+        Alcotest.test_case "silo amortizes" `Slow test_fig9_silo_amortizes;
+        Alcotest.test_case "cfs tails explode" `Slow test_fig9_cfs_tails_explode;
+      ] );
+    ( "experiments.fig10",
+      [ Alcotest.test_case "dense colocation shape" `Slow test_fig10_dense_shape ]
+    );
+    ( "experiments.fig11",
+      [ Alcotest.test_case "cache friendliness" `Slow test_fig11_cache_friendliness ]
+    );
+    ( "experiments.fig12",
+      [
+        Alcotest.test_case "control-plane constants" `Quick
+          test_fig12_control_plane_constants;
+        Alcotest.test_case "ingress queueing" `Quick test_fig12_ingress_queueing;
+      ] );
+    ( "experiments.burst",
+      [ Alcotest.test_case "burst absorption shape" `Slow test_burst_shape ] );
+    ( "experiments.fig13",
+      [
+        Alcotest.test_case "regulation accuracy" `Slow test_fig13_accuracy;
+        Alcotest.test_case "colocation shape" `Slow test_fig13_colocation_shape;
+      ] );
+  ]

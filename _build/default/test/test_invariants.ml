@@ -1,0 +1,210 @@
+(* Cross-cutting invariants: conservation laws and state-machine sanity
+   checked over full randomized simulation runs. These catch accounting
+   bugs that no unit test of a single module would. *)
+
+module Hw = Vessel_hw
+module U = Vessel_uprocess
+module S = Vessel_sched
+module W = Vessel_workloads
+module Sim = Vessel_engine.Sim
+module Stats = Vessel_stats
+
+let check_bool = Alcotest.(check bool)
+
+(* Run a colocation under the given system and return (machine, duration,
+   threads). *)
+let run_system ~seed ~cores ~rate_rps ~duration mk =
+  let sim = Sim.create ~seed () in
+  let machine = Hw.Machine.create ~cores sim in
+  let sys, extras = mk machine in
+  let gen = W.Memcached.make ~sim ~sys ~app_id:1 ~workers:cores () in
+  let lp = W.Linpack.make ~sys ~app_id:2 ~workers:cores () in
+  sys.S.Sched_intf.start ();
+  W.Openloop.start gen ~rate_rps ~until:duration;
+  Sim.run_until sim duration;
+  sys.S.Sched_intf.stop ();
+  (machine, gen, lp, extras)
+
+let mk_vessel machine =
+  let v = S.Vessel.make ~machine () in
+  (S.Vessel.system v, `Vessel v)
+
+let mk_caladan machine =
+  let b = S.Baseline.make S.Baseline.caladan ~machine in
+  (S.Baseline.system b, `Baseline b)
+
+let mk_cfs machine =
+  let c = S.Cfs.make ~machine () in
+  (S.Cfs.system c, `Cfs c)
+
+(* Conservation: every core's wall-clock time is fully accounted across
+   app + runtime + kernel + idle (within a small tolerance for segments
+   in flight at the stop instant). *)
+let conservation mk name =
+  let duration = 20_000_000 and cores = 3 in
+  let machine, _, _, _ =
+    run_system ~seed:99 ~cores ~rate_rps:1_000_000. ~duration mk
+  in
+  let acct = Hw.Machine.total_account machine in
+  let total = Stats.Cycle_account.grand_total acct in
+  let wall = cores * duration in
+  let err = Float.abs (float_of_int (total - wall)) /. float_of_int wall in
+  check_bool
+    (Printf.sprintf "%s: accounted %d of %d core-ns (err %.4f)" name total wall
+       err)
+    true (err < 0.02)
+
+let test_conservation_vessel () = conservation mk_vessel "vessel"
+let test_conservation_caladan () = conservation mk_caladan "caladan"
+let test_conservation_cfs () = conservation mk_cfs "linux-cfs"
+
+(* No negative accounting anywhere, under any seed. *)
+let prop_accounting_non_negative =
+  QCheck.Test.make ~name:"accounting never goes negative" ~count:10
+    QCheck.(int_range 1 1_000)
+    (fun seed ->
+      let machine, _, _, _ =
+        run_system ~seed ~cores:2 ~rate_rps:800_000. ~duration:5_000_000
+          mk_vessel
+      in
+      let acct = Hw.Machine.total_account machine in
+      Stats.Cycle_account.app_total acct >= 0
+      && Stats.Cycle_account.total acct Stats.Cycle_account.Runtime >= 0
+      && Stats.Cycle_account.total acct Stats.Cycle_account.Kernel >= 0
+      && Stats.Cycle_account.total acct Stats.Cycle_account.Idle >= 0)
+
+(* Work conservation: at moderate load, the served count matches the
+   offered count for every scheduler (nothing is lost or double-served),
+   and thread app-time matches served work. *)
+let work_conservation mk name =
+  let duration = 30_000_000 in
+  let _, gen, _, _ =
+    run_system ~seed:7 ~cores:2 ~rate_rps:500_000. ~duration mk
+  in
+  (* Allow the handful of requests still in flight at the horizon. *)
+  let offered = W.Openloop.offered gen and served = W.Openloop.served gen in
+  check_bool
+    (Printf.sprintf "%s: served %d of %d" name served offered)
+    true
+    (offered - served >= 0 && offered - served < 64)
+
+let test_work_conservation_vessel () = work_conservation mk_vessel "vessel"
+let test_work_conservation_caladan () = work_conservation mk_caladan "caladan"
+
+(* Thread-state sanity after a full run: every thread is in a terminal or
+   parked/queued state, never Running on a stopped machine. *)
+let test_thread_states_after_stop () =
+  let sim = Sim.create ~seed:5 () in
+  let machine = Hw.Machine.create ~cores:2 sim in
+  let v = S.Vessel.make ~machine () in
+  let sys = S.Vessel.system v in
+  let gen = W.Memcached.make ~sim ~sys ~app_id:1 ~workers:3 () in
+  sys.S.Sched_intf.start ();
+  W.Openloop.start gen ~rate_rps:1_000_000. ~until:5_000_000;
+  Sim.run_until sim 5_000_000;
+  sys.S.Sched_intf.stop ();
+  let rt = S.Vessel.runtime v in
+  for tid = 1 to 3 do
+    match U.Runtime.thread rt ~tid with
+    | Some th ->
+        check_bool "not running after stop" true
+          (match U.Uthread.state th with
+          | U.Uthread.Running _ -> false
+          | U.Uthread.Ready | U.Uthread.Parked | U.Uthread.Exited -> true)
+    | None -> ()
+  done
+
+(* Determinism across the whole stack: identical seeds give identical
+   latency histograms for every scheduler. *)
+let determinism mk name =
+  let run () =
+    let _, gen, lp, _ =
+      run_system ~seed:123 ~cores:2 ~rate_rps:900_000. ~duration:10_000_000 mk
+    in
+    let h = W.Openloop.latencies gen in
+    ( W.Openloop.served gen,
+      Stats.Histogram.percentile h 99.9,
+      W.Linpack.completed_ns lp )
+  in
+  check_bool (name ^ ": bit-identical replay") true (run () = run ())
+
+let test_determinism_vessel () = determinism mk_vessel "vessel"
+let test_determinism_caladan () = determinism mk_caladan "caladan"
+let test_determinism_cfs () = determinism mk_cfs "linux-cfs"
+
+(* MPK invariant under load: at any sampled instant of a VESSEL run, each
+   core's PKRU matches the uProcess of the thread it runs (or the runtime
+   image between threads) — i.e. the Figure-6 switch never leaves a stale
+   PKRU behind. *)
+let test_pkru_tracks_running_thread () =
+  let sim = Sim.create ~seed:31 () in
+  let machine = Hw.Machine.create ~cores:2 sim in
+  let v = S.Vessel.make ~machine () in
+  let sys = S.Vessel.system v in
+  let gen = W.Memcached.make ~sim ~sys ~app_id:1 ~workers:2 () in
+  let _lp = W.Linpack.make ~sys ~app_id:2 ~workers:2 () in
+  sys.S.Sched_intf.start ();
+  W.Openloop.start gen ~rate_rps:1_500_000. ~until:10_000_000;
+  let rt = S.Vessel.runtime v in
+  let violations = ref 0 and checks = ref 0 in
+  for i = 1 to 100 do
+    ignore
+      (Sim.schedule sim ~at:(i * 100_000) (fun _ ->
+           for core = 0 to 1 do
+             match U.Runtime.current_thread rt ~core with
+             | Some th -> (
+                 match U.Runtime.uprocess rt ~slot:(U.Uthread.uproc th) with
+                 | Some up
+                   when U.Uthread.state th = U.Uthread.Running core ->
+                     incr checks;
+                     if
+                       not
+                         (Hw.Pkru.equal
+                            (Hw.Core.pkru (Hw.Machine.core machine core))
+                            (U.Uprocess.pkru up))
+                     then incr violations
+                 | _ -> ())
+             | None -> ()
+           done))
+  done;
+  Sim.run_until sim 10_000_000;
+  sys.S.Sched_intf.stop ();
+  check_bool
+    (Printf.sprintf "pkru matched on %d/%d samples" (!checks - !violations)
+       !checks)
+    true
+    (!checks > 50 && !violations = 0)
+
+let suite =
+  [
+    ( "invariants.conservation",
+      [
+        Alcotest.test_case "vessel accounts all core time" `Slow
+          test_conservation_vessel;
+        Alcotest.test_case "caladan accounts all core time" `Slow
+          test_conservation_caladan;
+        Alcotest.test_case "cfs accounts all core time" `Slow
+          test_conservation_cfs;
+        QCheck_alcotest.to_alcotest prop_accounting_non_negative;
+      ] );
+    ( "invariants.work",
+      [
+        Alcotest.test_case "vessel serves everything offered" `Slow
+          test_work_conservation_vessel;
+        Alcotest.test_case "caladan serves everything offered" `Slow
+          test_work_conservation_caladan;
+      ] );
+    ( "invariants.state",
+      [
+        Alcotest.test_case "thread states after stop" `Quick
+          test_thread_states_after_stop;
+        Alcotest.test_case "PKRU tracks the running thread" `Quick
+          test_pkru_tracks_running_thread;
+      ] );
+    ( "invariants.determinism",
+      [
+        Alcotest.test_case "vessel replay" `Slow test_determinism_vessel;
+        Alcotest.test_case "caladan replay" `Slow test_determinism_caladan;
+        Alcotest.test_case "cfs replay" `Slow test_determinism_cfs;
+      ] );
+  ]

@@ -1,0 +1,314 @@
+(* Tests for the measurement substrate: histogram, summary, series,
+   cycle accounting and table rendering. *)
+
+open Vessel_stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_hist_empty () =
+  let h = Histogram.create () in
+  check_int "count" 0 (Histogram.count h);
+  check_int "p99" 0 (Histogram.percentile h 99.);
+  Alcotest.(check (float 0.)) "mean" 0. (Histogram.mean h)
+
+let test_hist_exact_small () =
+  (* Values below 2^precision are stored exactly. *)
+  let h = Histogram.create ~precision:6 () in
+  List.iter (Histogram.record h) [ 1; 2; 3; 4; 5 ];
+  check_int "p50 exact" 3 (Histogram.percentile h 50.);
+  check_int "min" 1 (Histogram.min h);
+  check_int "max" 5 (Histogram.max h);
+  Alcotest.(check (float 1e-9)) "mean exact" 3. (Histogram.mean h)
+
+let test_hist_relative_error () =
+  let h = Histogram.create ~precision:6 () in
+  let v = 1_234_567 in
+  Histogram.record h v;
+  let p = Histogram.percentile h 50. in
+  let err = Float.abs (float_of_int (p - v)) /. float_of_int v in
+  check_bool "within 2/64 relative error" true (err < 2. /. 64.)
+
+let test_hist_percentile_ordering () =
+  let h = Histogram.create () in
+  for i = 1 to 10_000 do
+    Histogram.record h i
+  done;
+  let p50 = Histogram.percentile h 50. in
+  let p90 = Histogram.percentile h 90. in
+  let p999 = Histogram.percentile h 99.9 in
+  check_bool "p50<=p90" true (p50 <= p90);
+  check_bool "p90<=p999" true (p90 <= p999);
+  check_bool "p50 near 5000" true (abs (p50 - 5_000) < 200);
+  check_bool "p999 near 9990" true (abs (p999 - 9_990) < 300)
+
+let test_hist_record_n () =
+  let h = Histogram.create () in
+  Histogram.record_n h 10 ~n:1000;
+  check_int "count" 1000 (Histogram.count h);
+  check_int "p99" 10 (Histogram.percentile h 99.)
+
+let test_hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 10;
+  Histogram.record b 1_000;
+  Histogram.merge ~into:a b;
+  check_int "count" 2 (Histogram.count a);
+  check_int "min" 10 (Histogram.min a);
+  check_bool "max >= 1000*63/64" true (Histogram.max a >= 984)
+
+let test_hist_clear () =
+  let h = Histogram.create () in
+  Histogram.record h 5;
+  Histogram.clear h;
+  check_int "count" 0 (Histogram.count h);
+  check_int "max" 0 (Histogram.max h)
+
+let test_hist_negative_rejected () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Histogram.record: negative value") (fun () ->
+      Histogram.record h (-1))
+
+let prop_hist_percentile_bounded =
+  QCheck.Test.make ~name:"histogram percentile within value range" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 5_000_000))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let lo = List.fold_left min max_int xs in
+      let hi = List.fold_left max 0 xs in
+      List.for_all
+        (fun p ->
+          let v = Histogram.percentile h p in
+          (* The bucket representative can undershoot by one bucket width
+             (<= 1/64 relative) but never overshoots max. *)
+          v <= hi && float_of_int v >= float_of_int lo *. 0.96 -. 1.)
+        [ 1.; 50.; 90.; 99.; 99.9; 100. ])
+
+let prop_hist_mean_exact =
+  QCheck.Test.make ~name:"histogram mean is exact" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_bound 1_000_000))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let expect =
+        List.fold_left (fun a x -> a +. float_of_int x) 0. xs
+        /. float_of_int (List.length xs)
+      in
+      Float.abs (Histogram.mean h -. expect) < 1e-6 *. (1. +. expect))
+
+(* ------------------------------------------------------------------ *)
+(* Summary *)
+
+let test_summary_basic () =
+  let s = Summary.create () in
+  List.iter (Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_int "count" 8 (Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5. (Summary.mean s);
+  Alcotest.(check (float 1e-6)) "stddev (n-1)" 2.13809 (Summary.stddev s);
+  Alcotest.(check (float 0.)) "min" 2. (Summary.min s);
+  Alcotest.(check (float 0.)) "max" 9. (Summary.max s);
+  Alcotest.(check (float 0.)) "total" 40. (Summary.total s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  Alcotest.(check (float 0.)) "mean" 0. (Summary.mean s);
+  Alcotest.(check (float 0.)) "variance" 0. (Summary.variance s);
+  check_bool "min nan" true (Float.is_nan (Summary.min s))
+
+let test_summary_clear () =
+  let s = Summary.create () in
+  Summary.add s 3.;
+  Summary.clear s;
+  check_int "count" 0 (Summary.count s)
+
+(* ------------------------------------------------------------------ *)
+(* Series *)
+
+let test_series_order_enforced () =
+  let s = Series.create () in
+  Series.add s ~at:10 1.;
+  check_bool "unordered rejected" true
+    (try
+       Series.add s ~at:5 2.;
+       false
+     with Invalid_argument _ -> true)
+
+let test_series_mean_between () =
+  let s = Series.create () in
+  List.iter (fun (t, v) -> Series.add s ~at:t v)
+    [ (0, 1.); (10, 2.); (20, 3.); (30, 4.) ];
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Series.mean s);
+  let sub = Series.between s ~lo:10 ~hi:30 in
+  check_int "window length" 2 (Series.length sub);
+  Alcotest.(check (float 1e-9)) "window mean" 2.5 (Series.mean sub)
+
+let test_series_last_and_rate () =
+  let s = Series.create () in
+  Alcotest.(check bool) "empty last" true (Series.last s = None);
+  Series.add s ~at:5 9.;
+  Alcotest.(check bool) "last" true (Series.last s = Some (5, 9.));
+  Alcotest.(check (float 1e-6)) "rate" 2_000_000.
+    (Series.rate_per_s ~count:2_000 ~window:1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Cycle_account *)
+
+let test_cycles_basic () =
+  let c = Cycle_account.create () in
+  Cycle_account.charge c (App 1) 100;
+  Cycle_account.charge c (App 1) 50;
+  Cycle_account.charge c (App 2) 30;
+  Cycle_account.charge c Runtime 20;
+  Cycle_account.charge c Kernel 10;
+  Cycle_account.charge c Idle 40;
+  check_int "app1" 150 (Cycle_account.total c (App 1));
+  check_int "app total" 180 (Cycle_account.app_total c);
+  check_int "grand" 250 (Cycle_account.grand_total c);
+  Alcotest.(check (list int)) "ids" [ 1; 2 ] (Cycle_account.app_ids c);
+  Alcotest.(check (float 1e-9)) "cores worth" 0.5
+    (Cycle_account.cores_worth c (App 1) ~wall:300)
+
+let test_cycles_merge () =
+  let a = Cycle_account.create () and b = Cycle_account.create () in
+  Cycle_account.charge a Kernel 5;
+  Cycle_account.charge b Kernel 7;
+  Cycle_account.charge b (App 3) 2;
+  Cycle_account.merge ~into:a b;
+  check_int "kernel" 12 (Cycle_account.total a Kernel);
+  check_int "app3" 2 (Cycle_account.total a (App 3))
+
+let test_cycles_negative_rejected () =
+  let c = Cycle_account.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Cycle_account.charge: negative duration") (fun () ->
+      Cycle_account.charge c Idle (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline *)
+
+let test_timeline_render () =
+  let tl = Timeline.create ~cores:2 in
+  Timeline.record tl ~core:0 ~from:0 ~till:50 ~label:"alpha";
+  Timeline.record tl ~core:0 ~from:50 ~till:100 ~label:"beta";
+  Timeline.record tl ~core:1 ~from:25 ~till:75 ~label:"alpha";
+  let s = Timeline.render tl ~from:0 ~till:100 ~width:10 () in
+  let lines = String.split_on_char '\n' s in
+  let row n = List.nth lines n in
+  check_bool "core0 alpha then beta" true
+    (let r = row 0 in
+     String.sub r 9 10 = "aaaaabbbbb");
+  check_bool "core1 idle-alpha-idle" true
+    (let r = row 1 in
+     (* buckets 0-1 idle (0-20), 3-6 alpha, 8-9 idle *)
+     r.[9] = '.' && r.[13] = 'a' && r.[18] = '.');
+  Alcotest.(check (list string)) "labels in first-appearance order"
+    [ "alpha"; "beta" ] (Timeline.labels tl)
+
+let test_timeline_dominant_label () =
+  (* A bucket split between two labels shows the bigger occupant. *)
+  let tl = Timeline.create ~cores:1 in
+  Timeline.record tl ~core:0 ~from:0 ~till:30 ~label:"x";
+  Timeline.record tl ~core:0 ~from:30 ~till:100 ~label:"y";
+  let s = Timeline.render tl ~from:0 ~till:100 ~width:1 () in
+  check_bool "y dominates the single bucket" true
+    (String.contains (List.hd (String.split_on_char '\n' s)) 'y')
+
+let test_timeline_validation () =
+  let tl = Timeline.create ~cores:1 in
+  (* Reversed segments ignored, bad core rejected. *)
+  Timeline.record tl ~core:0 ~from:10 ~till:5 ~label:"z";
+  check_bool "reversed ignored" true (Timeline.labels tl = []);
+  check_bool "bad core" true
+    (try Timeline.record tl ~core:5 ~from:0 ~till:1 ~label:"z"; false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Table.create ~columns:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  check_bool "has header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  check_int "rows" 2 (Table.row_count t);
+  (* All lines align: same rendered width for the first two columns. *)
+  let lines = String.split_on_char '\n' s in
+  check_int "line count" 4 (List.length lines)
+
+let test_table_rowf_and_cells () =
+  let t = Table.create ~columns:[ "a"; "b"; "c" ] in
+  Table.add_rowf t "%s|%s|%s" (Table.cell_f 1.2345) (Table.cell_us 1_500)
+    (Table.cell_pct 0.42);
+  Alcotest.(check bool) "cells formatted" true
+    (Table.render t |> fun s ->
+     let has sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     has "1.234" && has "1.500" && has "42.0%")
+
+let test_table_arity_enforced () =
+  let t = Table.create ~columns:[ "x" ] in
+  check_bool "arity" true
+    (try
+       Table.add_row t [ "a"; "b" ];
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "stats.histogram",
+      [
+        Alcotest.test_case "empty" `Quick test_hist_empty;
+        Alcotest.test_case "exact small values" `Quick test_hist_exact_small;
+        Alcotest.test_case "bounded relative error" `Quick
+          test_hist_relative_error;
+        Alcotest.test_case "percentile ordering" `Quick
+          test_hist_percentile_ordering;
+        Alcotest.test_case "record_n" `Quick test_hist_record_n;
+        Alcotest.test_case "merge" `Quick test_hist_merge;
+        Alcotest.test_case "clear" `Quick test_hist_clear;
+        Alcotest.test_case "negative rejected" `Quick test_hist_negative_rejected;
+        QCheck_alcotest.to_alcotest prop_hist_percentile_bounded;
+        QCheck_alcotest.to_alcotest prop_hist_mean_exact;
+      ] );
+    ( "stats.summary",
+      [
+        Alcotest.test_case "basic" `Quick test_summary_basic;
+        Alcotest.test_case "empty" `Quick test_summary_empty;
+        Alcotest.test_case "clear" `Quick test_summary_clear;
+      ] );
+    ( "stats.series",
+      [
+        Alcotest.test_case "order enforced" `Quick test_series_order_enforced;
+        Alcotest.test_case "mean/between" `Quick test_series_mean_between;
+        Alcotest.test_case "last/rate" `Quick test_series_last_and_rate;
+      ] );
+    ( "stats.cycle_account",
+      [
+        Alcotest.test_case "basic" `Quick test_cycles_basic;
+        Alcotest.test_case "merge" `Quick test_cycles_merge;
+        Alcotest.test_case "negative rejected" `Quick
+          test_cycles_negative_rejected;
+      ] );
+    ( "stats.timeline",
+      [
+        Alcotest.test_case "render" `Quick test_timeline_render;
+        Alcotest.test_case "dominant label" `Quick test_timeline_dominant_label;
+        Alcotest.test_case "validation" `Quick test_timeline_validation;
+      ] );
+    ( "stats.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "rowf/cells" `Quick test_table_rowf_and_cells;
+        Alcotest.test_case "arity" `Quick test_table_arity_enforced;
+      ] );
+  ]
