@@ -5,10 +5,16 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig9    # one experiment
      dune exec bench/main.exe -- micro   # just the micro-benchmarks
+     dune exec bench/main.exe -- -j 4    # everything, 4 worker domains
 
    Every experiment prints its measured rows next to a "paper:" note
    stating what the original reports, so the shape comparison is one
-   glance. EXPERIMENTS.md records a snapshot of both. *)
+   glance. EXPERIMENTS.md records a snapshot of both.
+
+   Alongside the human output the harness writes BENCH_1.json — one
+   record per experiment with wall seconds and simulation events/sec —
+   so successive PRs can track the performance trajectory machine-
+   readably (schema documented in EXPERIMENTS.md). *)
 
 open Vessel_experiments
 
@@ -54,6 +60,7 @@ let module_tests () =
   let cache = Vessel_hw.Cache.create () in
   let pkey = Vessel_hw.Pkey.of_int 3 in
   let eq = Vessel_engine.Event_queue.create () in
+  let eqb = Vessel_engine.Event_queue.create () in
   let counter = ref 0 in
   [
     Test.make ~name:"rng.bits"
@@ -77,6 +84,12 @@ let module_tests () =
            incr counter;
            ignore (Vessel_engine.Event_queue.add eq ~time:!counter ());
            ignore (Vessel_engine.Event_queue.pop eq)));
+    Test.make ~name:"event_queue.add+pop_if_before"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Vessel_engine.Event_queue.add eqb ~time:!counter ());
+           ignore
+             (Vessel_engine.Event_queue.pop_if_before eqb ~horizon:max_int)));
   ]
 
 let run_micro () =
@@ -98,25 +111,94 @@ let run_micro () =
   List.iter
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
-      | Some (est :: _) -> Printf.printf "%-28s %10.1f ns/op\n" name est
-      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+      | Some (est :: _) -> Printf.printf "%-36s %10.1f ns/op\n" name est
+      | _ -> Printf.printf "%-36s (no estimate)\n" name)
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable perf record *)
+
+type timing = { name : string; seconds : float; events : int }
+
+let write_bench_json ~path ~jobs ~total_seconds timings =
+  let oc = open_out path in
+  let rate t = if t.seconds > 0. then float_of_int t.events /. t.seconds else 0. in
+  Printf.fprintf oc "{\n  \"schema\": \"vessel-bench-1\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n" total_seconds;
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i t ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"seconds\": %.3f, \"events\": %d, \
+         \"events_per_sec\": %.0f }%s\n"
+        t.name t.seconds t.events (rate t)
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  Printf.eprintf "usage: main.exe [-j N] [EXPERIMENT...]\nvalid ids: %s\n"
+    (String.concat " " (List.map fst experiments @ [ "micro" ]))
+
+let parse_args () =
+  let jobs = ref (Vessel_engine.Pool.default_domains ()) in
+  let wanted = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            go rest
+        | _ ->
+            Printf.eprintf "error: -j expects a positive integer, got %S\n" n;
+            usage ();
+            exit 2)
+    | "-j" :: [] ->
+        Printf.eprintf "error: -j expects an argument\n";
+        usage ();
+        exit 2
+    | name :: rest ->
+        wanted := name :: !wanted;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!jobs, List.rev !wanted)
 
 let () =
-  let wanted =
-    match Array.to_list Sys.argv with _ :: rest when rest <> [] -> rest | _ -> []
-  in
+  let jobs, wanted = parse_args () in
+  let valid = List.map fst experiments @ [ "micro" ] in
+  let unknown = List.filter (fun w -> not (List.mem w valid)) wanted in
+  if unknown <> [] then begin
+    Printf.eprintf "error: unknown experiment id%s: %s\n"
+      (if List.length unknown > 1 then "s" else "")
+      (String.concat ", " unknown);
+    usage ();
+    exit 2
+  end;
+  Runner.set_domains jobs;
   let run_all = wanted = [] in
+  let timings = ref [] in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (name, f) ->
       if run_all || List.mem name wanted then begin
         let t = Unix.gettimeofday () in
+        let ev0 = Vessel_engine.Sim.total_events_executed () in
         f ();
-        Printf.printf "[%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+        let seconds = Unix.gettimeofday () -. t in
+        let events = Vessel_engine.Sim.total_events_executed () - ev0 in
+        timings := { name; seconds; events } :: !timings;
+        Printf.printf "[%s: %.1fs, %.1fM events]\n%!" name seconds
+          (float_of_int events /. 1e6)
       end)
     experiments;
   if run_all || List.mem "micro" wanted then run_micro ();
-  Printf.printf "\ntotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let total = Unix.gettimeofday () -. t0 in
+  write_bench_json ~path:"BENCH_1.json" ~jobs ~total_seconds:total
+    (List.rev !timings);
+  Printf.printf "\ntotal: %.1fs (-j %d; BENCH_1.json written)\n" total jobs

@@ -11,6 +11,20 @@ let seed =
   let doc = "Root RNG seed; every run is deterministic given the seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for sweep execution. Each sweep point is an \
+     independent simulation built from an explicit seed, so the output \
+     is byte-identical at any $(docv); 1 runs fully sequentially."
+  in
+  Arg.(
+    value
+    & opt int (Vessel_engine.Pool.default_domains ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* Applied before every command so the sweeps below fan out. *)
+let with_jobs run = Term.(const (fun j -> Runner.set_domains j; run) $ jobs)
+
 let cores =
   let doc = "Worker cores for the colocation experiments." in
   Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc)
@@ -65,30 +79,32 @@ let cmd name doc term =
 let cmds =
   [
     cmd "table1" "Table 1: context-switch latency"
-      Term.(const run_table1 $ seed);
+      Term.(with_jobs run_table1 $ seed);
     cmd "fig1" "Figure 1: cost of colocation under Caladan"
-      Term.(const run_fig1 $ seed $ cores);
+      Term.(with_jobs run_fig1 $ seed $ cores);
     cmd "fig2" "Figure 2: dense colocation kernel cycles"
-      Term.(const run_fig2 $ seed);
+      Term.(with_jobs run_fig2 $ seed);
     cmd "fig3" "Figure 3: Caladan core-reallocation timeline"
-      Term.(const run_fig3 $ seed);
+      Term.(with_jobs run_fig3 $ seed);
     cmd "fig9" "Figure 9: L-app + B-app across all systems"
-      Term.(const run_fig9 $ seed $ cores $ l_app);
+      Term.(with_jobs run_fig9 $ seed $ cores $ l_app);
     cmd "fig10" "Figure 10: dense colocation, 1 vs 10 instances"
-      Term.(const run_fig10 $ seed);
+      Term.(with_jobs run_fig10 $ seed);
     cmd "fig11" "Figure 11: cache friendliness"
-      Term.(const run_fig11 $ seed);
+      Term.(with_jobs run_fig11 $ seed);
     cmd "fig12" "Figure 12: goodput vs core count"
-      Term.(const run_fig12 $ seed);
+      Term.(with_jobs run_fig12 $ seed);
     cmd "fig13a" "Figure 13a: bandwidth-aware colocation"
-      Term.(const run_fig13a $ seed $ cores);
+      Term.(with_jobs run_fig13a $ seed $ cores);
     cmd "fig13b" "Figure 13b: bandwidth-regulation accuracy"
-      Term.(const run_fig13b $ seed);
+      Term.(with_jobs run_fig13b $ seed);
     cmd "ablation" "Ablations: switch-cost sweep, mechanism vs policy"
-      Term.(const run_ablation $ seed $ cores);
+      Term.(with_jobs run_ablation $ seed $ cores);
     cmd "burst" "Burst absorption under us-scale load spikes"
-      Term.(const (fun seed cores -> Exp_burst.print (Exp_burst.run ~seed ~cores ())) $ seed $ cores);
-    cmd "all" "Every table and figure" Term.(const run_all $ seed $ cores);
+      Term.(
+        with_jobs (fun seed cores -> Exp_burst.print (Exp_burst.run ~seed ~cores ()))
+        $ seed $ cores);
+    cmd "all" "Every table and figure" Term.(with_jobs run_all $ seed $ cores);
   ]
 
 let () =

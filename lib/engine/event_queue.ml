@@ -102,3 +102,28 @@ let pop t =
     decr t.live;
     Some (e.time, e.value)
   end
+
+let pop_if_before t ~horizon =
+  drain_cancelled t;
+  if t.size = 0 || t.heap.(0).time > horizon then None
+  else begin
+    let e = t.heap.(0) in
+    e.h.cancelled <- true;
+    remove_root t;
+    decr t.live;
+    Some (e.time, e.value)
+  end
+
+let drain_before t ~horizon f =
+  let rec go () =
+    drain_cancelled t;
+    if t.size > 0 && t.heap.(0).time <= horizon then begin
+      let e = t.heap.(0) in
+      e.h.cancelled <- true;
+      remove_root t;
+      decr t.live;
+      f e.time e.value;
+      go ()
+    end
+  in
+  go ()

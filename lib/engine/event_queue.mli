@@ -28,3 +28,15 @@ val peek_time : 'a t -> Time.t option
 
 val pop : 'a t -> (Time.t * 'a) option
 (** Remove and return the earliest live event. *)
+
+val pop_if_before : 'a t -> horizon:Time.t -> (Time.t * 'a) option
+(** Remove and return the earliest live event whose time is at or before
+    [horizon]; [None] if the queue is empty or the earliest live event is
+    strictly later. One cancelled-entry drain serves both the check and
+    the pop, where a [peek_time]-then-[pop] pair drains twice. *)
+
+val drain_before : 'a t -> horizon:Time.t -> (Time.t -> 'a -> unit) -> unit
+(** [drain_before t ~horizon f] pops every live event at or before
+    [horizon] in order and calls [f time value] on each, including events
+    [f] itself adds at or before the horizon. Allocation-free per event —
+    this is the simulation driver's hot loop. *)

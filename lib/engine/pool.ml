@@ -1,0 +1,38 @@
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let map ?domains f jobs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  match jobs with
+  | [] -> []
+  | [ job ] -> [ f job ]
+  | jobs when domains = 1 -> List.map f jobs
+  | jobs ->
+      let input = Array.of_list jobs in
+      let n = Array.length input in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let error = Atomic.make None in
+      let worker () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n && Atomic.get error = None then begin
+            (match f input.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+                ignore (Atomic.compare_and_set error None (Some e)));
+            go ()
+          end
+        in
+        go ()
+      in
+      (* The caller is one of the workers; spawn the rest. *)
+      let spawned =
+        List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      List.iter Domain.join spawned;
+      (match Atomic.get error with Some e -> raise e | None -> ());
+      Array.to_list
+        (Array.map (function Some v -> v | None -> assert false) results)

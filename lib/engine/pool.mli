@@ -1,0 +1,20 @@
+(** A fixed-size work pool over OCaml 5 domains.
+
+    [map] fans a list of independent jobs out across worker domains and
+    returns the results in input order, regardless of completion order.
+    Jobs must be self-contained: the simulator guarantees this by giving
+    every sweep point its own [Sim.t]/[Machine.t] built from an explicit
+    seed, so a parallel map is bit-identical to the sequential one. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f jobs] applies [f] to every job and returns the
+    results in input order. [domains] (default [default_domains ()]) is
+    the total worker count including the calling domain; [~domains:1]
+    runs sequentially in the caller, allocation-for-allocation identical
+    to [List.map]. Workers pull job indices from a shared queue, so an
+    expensive job does not hold up the rest of the list. The first
+    exception any job raises is re-raised in the caller (remaining jobs
+    may be skipped). *)

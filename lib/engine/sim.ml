@@ -2,13 +2,28 @@ type t = {
   mutable clock : Time.t;
   queue : (t -> unit) Event_queue.t;
   root_rng : Rng.t;
+  mutable executed : int;
 }
 
+(* Aggregate event count across every simulation instance in the process,
+   one atomic add per [run_until] call (not per event) so the counter
+   stays off the hot path even when worker domains run sweeps in
+   parallel. *)
+let global_executed = Atomic.make 0
+
+let total_events_executed () = Atomic.get global_executed
+
 let create ?(seed = 42) () =
-  { clock = Time.zero; queue = Event_queue.create (); root_rng = Rng.create ~seed }
+  {
+    clock = Time.zero;
+    queue = Event_queue.create ();
+    root_rng = Rng.create ~seed;
+    executed = 0;
+  }
 
 let now t = t.clock
 let rng t = t.root_rng
+let events_executed t = t.executed
 
 let schedule t ~at f =
   if at < t.clock then
@@ -27,23 +42,22 @@ let step t =
   | None -> false
   | Some (time, f) ->
       t.clock <- time;
+      t.executed <- t.executed + 1;
+      ignore (Atomic.fetch_and_add global_executed 1);
       f t;
       true
 
 let run_until t horizon =
-  let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | Some time when time <= horizon ->
-        (match Event_queue.pop t.queue with
-        | Some (time, f) ->
-            t.clock <- time;
-            f t
-        | None -> ());
-        loop ()
-    | _ -> ()
-  in
-  loop ();
-  if horizon > t.clock then t.clock <- horizon
+  let before = t.executed in
+  (* One handler closure per call, zero allocations per event: the queue
+     hands each (time, value) pair straight out of its heap slot. *)
+  Event_queue.drain_before t.queue ~horizon (fun time f ->
+      t.clock <- time;
+      t.executed <- t.executed + 1;
+      f t);
+  if horizon > t.clock then t.clock <- horizon;
+  let n = t.executed - before in
+  if n > 0 then ignore (Atomic.fetch_and_add global_executed n)
 
 let run_for t d = run_until t (t.clock + d)
 

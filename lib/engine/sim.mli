@@ -40,3 +40,11 @@ val step : t -> bool
 
 val pending : t -> int
 (** Number of scheduled, not-yet-fired, not-cancelled events. *)
+
+val events_executed : t -> int
+(** Events this simulation has fired since [create]. *)
+
+val total_events_executed : unit -> int
+(** Events fired across every simulation in the process, all domains
+    included — the bench harness's events/sec numerator. Updated once
+    per [run_until]/[step], not per event. *)

@@ -62,7 +62,7 @@ let measure ~seed ~cores ?cost ?vessel_params () =
 let default_cycles = [ 11; 60; 130; 260; 1_000; 4_000 ]
 
 let run_switch_cost ?(seed = 42) ?(cores = 4) ?(cycles = default_cycles) () =
-  List.map
+  Runner.sweep
     (fun c ->
       let ns = Vessel_engine.Time.of_cycles ~ghz:2.1 c in
       let cost = Cost_model.v ~f:(fun d -> { d with Cost_model.wrpkru = ns }) () in
@@ -102,19 +102,12 @@ let run_policy ?(seed = 42) ?(cores = 4) () =
         })
       ()
   in
-  let vessel_rows =
-    List.map
-      (fun (label, cost, vessel_params) ->
-        let p999, total, b = measure ~seed ~cores ?cost ?vessel_params () in
-        { label; p999_us = p999; normalized_total = total; b_normalized = b })
-      [
-        ("vessel", None, None);
-        ("vessel-conservative-policy", None, Some conservative);
-        ("vessel-kernel-signals", Some kernel_signals, None);
-      ]
+  let vessel_job (label, cost, vessel_params) () =
+    let p999, total, b = measure ~seed ~cores ?cost ?vessel_params () in
+    { label; p999_us = p999; normalized_total = total; b_normalized = b }
   in
   (* Caladan reference point under the shared harness. *)
-  let caladan_row =
+  let caladan_job () =
     let sched = Runner.Caladan in
     let cap = Runner.l_alone_capacity ~seed ~cores ~sched ~l_app:Runner.Memcached () in
     let b_max = Runner.b_alone_capacity ~seed ~cores ~sched () in
@@ -132,7 +125,13 @@ let run_policy ?(seed = 42) ?(cores = 4) () =
         /. float_of_int m.Runner.window_ns /. b_max;
     }
   in
-  vessel_rows @ [ caladan_row ]
+  Runner.sweep_points
+    [
+      vessel_job ("vessel", None, None);
+      vessel_job ("vessel-conservative-policy", None, Some conservative);
+      vessel_job ("vessel-kernel-signals", Some kernel_signals, None);
+      caladan_job;
+    ]
 
 let print_switch_cost rows =
   Report.section "Ablation A: WRPKRU cost sweep (11-260 cycles cited, plus slow hypotheticals)";

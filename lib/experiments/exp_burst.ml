@@ -45,7 +45,7 @@ let run ?(seed = 42) ?(cores = 4) ?(base_fraction = 0.2) ?(burst_fraction = 1.2)
     Runner.l_alone_capacity ~seed ~cores ~sched:Runner.Vessel
       ~l_app:Runner.Memcached ()
   in
-  List.map
+  Runner.sweep
     (measure ~seed ~cores ~base_rps:(base_fraction *. cap)
        ~burst_rps:(burst_fraction *. cap) ~burst_len ~period)
     [ Runner.Vessel; Runner.Caladan; Runner.Caladan_dr_l ]

@@ -12,11 +12,20 @@ let default_fractions = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ]
 
 let run ?(seed = 42) ?(cores = 8) ?(fractions = default_fractions) () =
   let sched = Runner.Caladan in
-  let l_max =
-    Runner.l_alone_capacity ~seed ~cores ~sched ~l_app:Runner.Memcached ()
+  let l_max, b_max =
+    match
+      Runner.sweep_points
+        [
+          (fun () ->
+            Runner.l_alone_capacity ~seed ~cores ~sched ~l_app:Runner.Memcached
+              ());
+          (fun () -> Runner.b_alone_capacity ~seed ~cores ~sched ());
+        ]
+    with
+    | [ l; b ] -> (l, b)
+    | _ -> assert false
   in
-  let b_max = Runner.b_alone_capacity ~seed ~cores ~sched () in
-  List.map
+  Runner.sweep
     (fun f ->
       let m =
         Runner.run_colocation ~seed ~cores ~sched ~l_app:Runner.Memcached

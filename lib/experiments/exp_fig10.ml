@@ -12,27 +12,28 @@ let run ?(seed = 42) ?(instances = [ 1; 10 ])
     Runner.l_alone_capacity ~seed ~cores:1 ~sched:Runner.Vessel
       ~l_app:Runner.Memcached ()
   in
-  List.concat_map
-    (fun sched ->
-      List.concat_map
-        (fun k ->
-          List.map
-            (fun f ->
-              let agg, p999, _, _, _ =
-                Exp_fig2.dense_run ~seed ~sched ~instances:k
-                  ~total_rps:(f *. cap) ~warmup:20_000_000
-                  ~duration:100_000_000
-              in
-              {
-                system = sched;
-                instances = k;
-                load_fraction = f;
-                aggregate_rps = agg;
-                p999_us = p999;
-              })
-            fractions)
-        instances)
-    [ Runner.Vessel; Runner.Caladan_dr_l ]
+  let points =
+    List.concat_map
+      (fun sched ->
+        List.concat_map
+          (fun k -> List.map (fun f -> (sched, k, f)) fractions)
+          instances)
+      [ Runner.Vessel; Runner.Caladan_dr_l ]
+  in
+  Runner.sweep
+    (fun (sched, k, f) ->
+      let agg, p999, _, _, _ =
+        Exp_fig2.dense_run ~seed ~sched ~instances:k ~total_rps:(f *. cap)
+          ~warmup:20_000_000 ~duration:100_000_000
+      in
+      {
+        system = sched;
+        instances = k;
+        load_fraction = f;
+        aggregate_rps = agg;
+        p999_us = p999;
+      })
+    points
 
 let peak rows ~sys ~instances =
   List.fold_left

@@ -57,10 +57,9 @@ let measure ~seed ~working_set ~duration sched =
   }
 
 let run ?(seed = 42) ?(working_set = 512 * 1024) ?(duration = 50_000_000) () =
-  [
-    measure ~seed ~working_set ~duration Runner.Vessel;
-    measure ~seed ~working_set ~duration Runner.Caladan;
-  ]
+  Runner.sweep
+    (measure ~seed ~working_set ~duration)
+    [ Runner.Vessel; Runner.Caladan ]
 
 let print rows =
   Report.section "Figure 11: cache friendliness (two object-copy apps, one core)";

@@ -73,19 +73,30 @@ let goodput ~seed ~cores ~sched ~l_max =
   search 0.4 1.0 best 4
 
 let run ?(seed = 42) ?(core_counts = [ 32; 36; 40; 42; 44 ]) () =
-  List.concat_map
-    (fun sched ->
-      (* Per-core capacity measured once at a small scale. *)
-      let per_core =
-        Runner.l_alone_capacity ~seed ~cores:8 ~sched ~l_app:Runner.Memcached ()
-        /. 8.
-      in
-      List.map
-        (fun cores ->
-          let l_max = per_core *. float_of_int cores in
-          { system = sched; cores; goodput_rps = goodput ~seed ~cores ~sched ~l_max })
-        core_counts)
-    [ Runner.Vessel; Runner.Caladan ]
+  (* Per-core capacity measured once per system at a small scale, then
+     one goodput search per (system, cores) point; each search is
+     internally sequential (bracketed), so the grid is the unit of
+     parallelism. *)
+  let capacities =
+    Runner.sweep
+      (fun sched ->
+        ( sched,
+          Runner.l_alone_capacity ~seed ~cores:8 ~sched ~l_app:Runner.Memcached
+            ()
+          /. 8. ))
+      [ Runner.Vessel; Runner.Caladan ]
+  in
+  let points =
+    List.concat_map
+      (fun (sched, per_core) ->
+        List.map (fun cores -> (sched, per_core, cores)) core_counts)
+      capacities
+  in
+  Runner.sweep
+    (fun (sched, per_core, cores) ->
+      let l_max = per_core *. float_of_int cores in
+      { system = sched; cores; goodput_rps = goodput ~seed ~cores ~sched ~l_max })
+    points
 
 let print rows =
   Report.section "Figure 12: goodput vs core count (p999 <= 60us)";

@@ -94,25 +94,32 @@ let colocate ~seed ~cores ~sched ~rate_rps ~l_max =
 
 let run_colocation ?(seed = 42) ?(cores = 4) ?(fractions = [ 0.2; 0.4; 0.6; 0.8 ])
     () =
-  List.concat_map
-    (fun sched ->
-      let l_max =
-        Runner.l_alone_capacity ~seed ~cores ~sched ~l_app:Runner.Memcached ()
+  let capacities =
+    Runner.sweep
+      (fun sched ->
+        ( sched,
+          Runner.l_alone_capacity ~seed ~cores ~sched ~l_app:Runner.Memcached
+            () ))
+      [ Runner.Vessel; Runner.Caladan ]
+  in
+  let points =
+    List.concat_map
+      (fun (sched, l_max) -> List.map (fun f -> (sched, l_max, f)) fractions)
+      capacities
+  in
+  Runner.sweep
+    (fun (sched, l_max, f) ->
+      let total, p999, util =
+        colocate ~seed ~cores ~sched ~rate_rps:(f *. l_max) ~l_max
       in
-      List.map
-        (fun f ->
-          let total, p999, util =
-            colocate ~seed ~cores ~sched ~rate_rps:(f *. l_max) ~l_max
-          in
-          {
-            system = sched;
-            load_fraction = f;
-            normalized_total = total;
-            p999_us = p999;
-            membw_utilization = util;
-          })
-        fractions)
-    [ Runner.Vessel; Runner.Caladan ]
+      {
+        system = sched;
+        load_fraction = f;
+        normalized_total = total;
+        p999_us = p999;
+        membw_utilization = util;
+      })
+    points
 
 (* --- (b) regulation accuracy --- *)
 
@@ -154,7 +161,7 @@ let vessel_operational_accuracy ~seed ~target =
 
 let run_accuracy ?(seed = 42)
     ?(targets = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) () =
-  List.map
+  Runner.sweep
     (fun target ->
       {
         target;

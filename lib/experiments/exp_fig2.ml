@@ -70,7 +70,7 @@ let run ?(seed = 42) ?(instances = [ 1; 2; 4; 6; 8; 10 ])
     Runner.l_alone_capacity ~seed ~cores:1 ~sched:Runner.Caladan
       ~l_app:Runner.Memcached ()
   in
-  List.map
+  Runner.sweep
     (fun k ->
       let agg, p999, app, rt, kern =
         dense_run ~seed ~sched:Runner.Caladan ~instances:k

@@ -21,38 +21,45 @@ let cap_for = function
 
 let run ?(seed = 42) ?(cores = 8) ?(systems = Runner.all_systems)
     ?(fractions = default_fractions) ~l_app () =
-  List.concat_map
-    (fun sched ->
-      let l_max = Runner.l_alone_capacity ~seed ~cores ~sched ~l_app () in
-      let b_max = Runner.b_alone_capacity ~seed ~cores ~sched () in
-      let cap = cap_for sched in
-      List.filter_map
-        (fun f ->
-          if f > cap then None
-          else begin
-            let m =
-              Runner.run_colocation ~seed ~cores ~sched ~l_app
-                ~rate_rps:(f *. l_max) ()
-            in
-            let b_rate =
-              float_of_int m.Runner.b_completed_ns
-              /. float_of_int m.Runner.window_ns
-            in
-            Some
-              {
-                system = sched;
-                load_fraction = f;
-                offered_rps = m.Runner.offered_rps;
-                achieved_rps = m.Runner.achieved_rps;
-                normalized_total =
-                  Runner.normalized_total ~m ~l_max_rps:l_max
-                    ~b_max_ns_per_ns:b_max;
-                b_normalized = (if b_max <= 0. then 0. else b_rate /. b_max);
-                p999_us = m.Runner.p999_us;
-              }
-          end)
-        fractions)
-    systems
+  (* Phase 1: per-system run-alone capacities; phase 2: the full
+     (system x load) grid. Both fan out across domains. *)
+  let capacities =
+    Runner.sweep
+      (fun sched ->
+        ( sched,
+          Runner.l_alone_capacity ~seed ~cores ~sched ~l_app (),
+          Runner.b_alone_capacity ~seed ~cores ~sched () ))
+      systems
+  in
+  let points =
+    List.concat_map
+      (fun (sched, l_max, b_max) ->
+        List.filter_map
+          (fun f ->
+            if f > cap_for sched then None else Some (sched, l_max, b_max, f))
+          fractions)
+      capacities
+  in
+  Runner.sweep
+    (fun (sched, l_max, b_max, f) ->
+      let m =
+        Runner.run_colocation ~seed ~cores ~sched ~l_app ~rate_rps:(f *. l_max)
+          ()
+      in
+      let b_rate =
+        float_of_int m.Runner.b_completed_ns /. float_of_int m.Runner.window_ns
+      in
+      {
+        system = sched;
+        load_fraction = f;
+        offered_rps = m.Runner.offered_rps;
+        achieved_rps = m.Runner.achieved_rps;
+        normalized_total =
+          Runner.normalized_total ~m ~l_max_rps:l_max ~b_max_ns_per_ns:b_max;
+        b_normalized = (if b_max <= 0. then 0. else b_rate /. b_max);
+        p999_us = m.Runner.p999_us;
+      })
+    points
 
 let vessel_vs_caladan_p999 rows =
   let at sys f =

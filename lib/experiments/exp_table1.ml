@@ -41,10 +41,7 @@ let measure ~seed ~duration kind =
   }
 
 let run ?(seed = 42) ?(duration = 50_000_000) () =
-  [
-    measure ~seed ~duration Runner.Vessel;
-    measure ~seed ~duration Runner.Caladan;
-  ]
+  Runner.sweep (measure ~seed ~duration) [ Runner.Vessel; Runner.Caladan ]
 
 let signal_paths () =
   let c = Vessel_hw.Cost_model.default in

@@ -1,8 +1,26 @@
 module Sim = Vessel_engine.Sim
+module Pool = Vessel_engine.Pool
 module Hw = Vessel_hw
 module S = Vessel_sched
 module W = Vessel_workloads
 module Stats = Vessel_stats
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep execution.
+
+   Every sweep point builds its own [Sim.t]/[Machine.t] from an explicit
+   seed, so fanning points across domains cannot change any result —
+   only the wall clock. The default worker count is process-wide,
+   settable once from the CLI's [-j]. *)
+
+let domain_count = ref (Pool.default_domains ())
+let set_domains n = domain_count := max 1 n
+let domains () = !domain_count
+
+let sweep ?domains f points =
+  Pool.map ~domains:(Option.value domains ~default:!domain_count) f points
+
+let sweep_points ?domains jobs = sweep ?domains (fun job -> job ()) jobs
 
 type sched_kind =
   | Vessel

@@ -11,6 +11,23 @@
     120 ms run (20 ms warmup) per point so a full figure regenerates in
     seconds. Shapes are preserved; see EXPERIMENTS.md. *)
 
+val set_domains : int -> unit
+(** Process-wide default worker-domain count for [sweep] (the CLI's
+    [-j]). Clamped to at least 1; [1] runs every sweep sequentially in
+    the calling domain, reproducing the single-threaded output exactly. *)
+
+val domains : unit -> int
+(** The current default worker-domain count. *)
+
+val sweep : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Run one independent simulation per point across worker domains
+    (default [domains ()]) and return results in input order. Because
+    every point builds its own simulation from an explicit seed, the
+    result is bit-identical at any [?domains]. *)
+
+val sweep_points : ?domains:int -> (unit -> 'a) list -> 'a list
+(** [sweep] over a list of ready-made jobs. *)
+
 type sched_kind =
   | Vessel
   | Caladan

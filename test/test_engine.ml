@@ -234,6 +234,143 @@ let prop_eq_sorted =
       let out = drain [] in
       out = List.sort compare times)
 
+let test_eq_pop_if_before () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.add q ~time:10 "a");
+  ignore (Event_queue.add q ~time:20 "b");
+  Alcotest.(check (option (pair int string)))
+    "earliest after horizon" None
+    (Event_queue.pop_if_before q ~horizon:9);
+  Alcotest.(check (option (pair int string)))
+    "boundary is inclusive" (Some (10, "a"))
+    (Event_queue.pop_if_before q ~horizon:10);
+  Alcotest.(check (option (pair int string)))
+    "next still later" None
+    (Event_queue.pop_if_before q ~horizon:15);
+  check_int "nothing consumed" 1 (Event_queue.length q);
+  Alcotest.(check (option (pair int string)))
+    "pops when within" (Some (20, "b"))
+    (Event_queue.pop_if_before q ~horizon:1_000);
+  Alcotest.(check (option (pair int string)))
+    "empty" None
+    (Event_queue.pop_if_before q ~horizon:max_int)
+
+let test_eq_pop_if_before_skips_cancelled () =
+  let q = Event_queue.create () in
+  let h = Event_queue.add q ~time:5 "dead" in
+  ignore (Event_queue.add q ~time:30 "live");
+  Event_queue.cancel h;
+  Alcotest.(check (option (pair int string)))
+    "cancelled head hides earlier time" None
+    (Event_queue.pop_if_before q ~horizon:10);
+  Alcotest.(check (option (pair int string)))
+    "live entry pops" (Some (30, "live"))
+    (Event_queue.pop_if_before q ~horizon:30)
+
+let test_eq_drain_before () =
+  let q = Event_queue.create () in
+  for i = 1 to 5 do
+    ignore (Event_queue.add q ~time:(10 * i) i)
+  done;
+  let out = ref [] in
+  Event_queue.drain_before q ~horizon:30 (fun time v -> out := (time, v) :: !out);
+  Alcotest.(check (list (pair int int)))
+    "drains in order up to horizon"
+    [ (10, 1); (20, 2); (30, 3) ]
+    (List.rev !out);
+  check_int "rest untouched" 2 (Event_queue.length q)
+
+let test_eq_drain_before_reentrant () =
+  (* An event at the horizon scheduling another at the horizon must see it
+     drained in the same call — run_until's semantics. *)
+  let q = Event_queue.create () in
+  let fired = ref [] in
+  let rec chain n () =
+    fired := n :: !fired;
+    if n < 3 then ignore (Event_queue.add q ~time:100 (chain (n + 1)))
+  in
+  ignore (Event_queue.add q ~time:100 (chain 1));
+  Event_queue.drain_before q ~horizon:100 (fun _time f -> f ());
+  Alcotest.(check (list int)) "chained at horizon" [ 1; 2; 3 ] (List.rev !fired);
+  check_bool "drained" true (Event_queue.is_empty q)
+
+(* Model-based test: random add/cancel/pop/pop_if_before sequences against
+   a sorted-association-list reference, exercising the lazy-deletion path
+   (cancelled entries linger in the heap until they surface). *)
+
+type eq_op = Add of int | Cancel of int | Pop | Pop_before of int
+
+let eq_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun t -> Add t) (int_bound 100));
+        (3, map (fun i -> Cancel i) (int_bound 50));
+        (3, return Pop);
+        (2, map (fun t -> Pop_before t) (int_bound 100));
+      ])
+
+let eq_op_print = function
+  | Add t -> Printf.sprintf "Add %d" t
+  | Cancel i -> Printf.sprintf "Cancel %d" i
+  | Pop -> "Pop"
+  | Pop_before t -> Printf.sprintf "Pop_before %d" t
+
+let eq_ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map eq_op_print ops))
+    QCheck.Gen.(list_size (int_bound 200) eq_op_gen)
+
+let prop_eq_model =
+  QCheck.Test.make ~name:"event_queue matches sorted-list model" ~count:300
+    eq_ops_arb (fun ops ->
+      let q = Event_queue.create () in
+      (* The model: live entries as (time, id) kept in pop order; [handles]
+         maps id -> real handle for cancel targeting. *)
+      let model = ref [] and handles = ref [||] and next_id = ref 0 in
+      let model_pop ?horizon () =
+        match
+          List.sort
+            (fun (t1, i1) (t2, i2) -> compare (t1, i1) (t2, i2))
+            !model
+        with
+        | [] -> None
+        | (t, i) :: _ ->
+            if match horizon with Some h -> t > h | None -> false then None
+            else begin
+              model := List.filter (fun (_, j) -> j <> i) !model;
+              Some (t, i)
+            end
+      in
+      List.for_all
+        (fun op ->
+          let ok =
+            match op with
+            | Add time ->
+                let id = !next_id in
+                incr next_id;
+                let h = Event_queue.add q ~time id in
+                handles := Array.append !handles [| h |];
+                model := (time, id) :: !model;
+                true
+            | Cancel k ->
+                if Array.length !handles = 0 then true
+                else begin
+                  let i = k mod Array.length !handles in
+                  Event_queue.cancel !handles.(i);
+                  (* Cancelling a popped or already-cancelled id is a
+                     no-op in both the queue and the model. *)
+                  model := List.filter (fun (_, j) -> j <> i) !model;
+                  true
+                end
+            | Pop -> Event_queue.pop q = model_pop ()
+            | Pop_before h ->
+                Event_queue.pop_if_before q ~horizon:h
+                = model_pop ~horizon:h ()
+          in
+          ok && Event_queue.length q = List.length !model)
+        ops)
+
 (* ------------------------------------------------------------------ *)
 (* Sim *)
 
@@ -376,7 +513,14 @@ let suite =
         Alcotest.test_case "cancel idempotent" `Quick test_eq_cancel_idempotent;
         Alcotest.test_case "cancel after pop" `Quick test_eq_cancel_after_pop;
         Alcotest.test_case "peek" `Quick test_eq_peek;
+        Alcotest.test_case "pop_if_before" `Quick test_eq_pop_if_before;
+        Alcotest.test_case "pop_if_before skips cancelled" `Quick
+          test_eq_pop_if_before_skips_cancelled;
+        Alcotest.test_case "drain_before" `Quick test_eq_drain_before;
+        Alcotest.test_case "drain_before reentrant" `Quick
+          test_eq_drain_before_reentrant;
         QCheck_alcotest.to_alcotest prop_eq_sorted;
+        QCheck_alcotest.to_alcotest prop_eq_model;
       ] );
     ( "engine.sim",
       [
