@@ -116,6 +116,110 @@ let run_micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: the Null-sink <= 2% claim.
+
+   A self-rescheduling event drives the real Sim dispatch path; the
+   probed variant adds the exact call-site pattern the instrumented hot
+   paths use (one load-and-branch per probe when disabled). Comparing the
+   plain and probed-but-disabled loops isolates what dormant probes cost
+   per event; the probed-and-enabled loop (Ring sink + live registry)
+   shows the price of actually collecting. The plain and disabled loops
+   are timed back-to-back within each rep, and the overhead is the
+   median of the per-rep ratios: pairing shares frequency drift between
+   both sides and the median survives a rep that a noisy neighbour
+   stretched — a sequential min-of-5 vs min-of-5 layout read ±2.5% on a
+   loaded 1-core host, swamping the ~1% effect under measurement. *)
+
+let dispatch_events = 5_000_000
+
+let dispatch_loop ~probed n =
+  let sim = Vessel_engine.Sim.create ~seed:7 () in
+  let remaining = ref n in
+  let rec step s =
+    if !remaining > 0 then begin
+      decr remaining;
+      if probed then begin
+        if !Vessel_obs.Probe.on then
+          Vessel_obs.Probe.instant
+            ~ts:(Vessel_engine.Sim.now s)
+            ~track:Vessel_obs.Track.Engine ~name:"bench.tick" ();
+        if !Vessel_obs.Probe.metrics_on then
+          Vessel_obs.Probe.incr "bench.ticks"
+      end;
+      ignore (Vessel_engine.Sim.schedule_after s ~delay:1 step)
+    end
+  in
+  ignore (Vessel_engine.Sim.schedule sim ~at:1 step);
+  Vessel_engine.Sim.run_until sim (n + 2)
+
+let time_reps ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let d = Unix.gettimeofday () -. t0 in
+    if d < !best then best := d
+  done;
+  !best
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run_obs_bench () =
+  Report.section "Observability overhead (event dispatch, Null sink)";
+  let reps = 17 in
+  let n = dispatch_events in
+  (* A minor collection inside a ~35ms timed window is the dominant
+     jitter; give the loop room and collect only between reps. *)
+  let gc = Gc.get () in
+  Gc.set { gc with Gc.minor_heap_size = 1 lsl 22; space_overhead = 400 };
+  let t_plain = ref infinity and t_off = ref infinity in
+  let ratios = ref [] in
+  (* warm-up rep, discarded *)
+  dispatch_loop ~probed:false n;
+  dispatch_loop ~probed:true n;
+  for _ = 1 to reps do
+    Gc.major ();
+    let p = time_once (fun () -> dispatch_loop ~probed:false n) in
+    let o = time_once (fun () -> dispatch_loop ~probed:true n) in
+    if p < !t_plain then t_plain := p;
+    if o < !t_off then t_off := o;
+    ratios := (o /. p) :: !ratios
+  done;
+  let t_plain = !t_plain and t_off = !t_off in
+  let median_ratio =
+    List.nth (List.sort compare !ratios) (reps / 2)
+  in
+  let ring = Vessel_obs.Ring.create () in
+  let reg = Vessel_obs.Metrics.create () in
+  let t_on =
+    time_reps ~reps:3 (fun () ->
+        Vessel_obs.Probe.with_sink ~reg (Vessel_obs.Ring.sink ring) (fun () ->
+            dispatch_loop ~probed:true n))
+  in
+  let rate t = float_of_int n /. t in
+  let overhead_pct = (median_ratio -. 1.) *. 100. in
+  Printf.printf "%-28s %10.1f M events/s\n" "plain" (rate t_plain /. 1e6);
+  Printf.printf "%-28s %10.1f M events/s\n" "probes disabled (Null)"
+    (rate t_off /. 1e6);
+  Printf.printf "%-28s %10.1f M events/s\n" "probes enabled (Ring)"
+    (rate t_on /. 1e6);
+  Printf.printf "null-sink overhead: %.2f%% (claim: <= 2%%)\n" overhead_pct;
+  let oc = open_out "BENCH_2.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"vessel-bench-2\",\n";
+  Printf.fprintf oc "  \"dispatch_events\": %d,\n" n;
+  Printf.fprintf oc "  \"plain_events_per_sec\": %.0f,\n" (rate t_plain);
+  Printf.fprintf oc "  \"tracing_disabled_events_per_sec\": %.0f,\n"
+    (rate t_off);
+  Printf.fprintf oc "  \"tracing_enabled_events_per_sec\": %.0f,\n" (rate t_on);
+  Printf.fprintf oc "  \"null_sink_overhead_pct\": %.2f\n}\n" overhead_pct;
+  close_out oc;
+  Gc.set gc;
+  Printf.printf "(BENCH_2.json written)\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable perf record *)
 
 type timing = { name : string; seconds : float; events : int }
@@ -142,7 +246,7 @@ let write_bench_json ~path ~jobs ~total_seconds timings =
 
 let usage () =
   Printf.eprintf "usage: main.exe [-j N] [EXPERIMENT...]\nvalid ids: %s\n"
-    (String.concat " " (List.map fst experiments @ [ "micro" ]))
+    (String.concat " " (List.map fst experiments @ [ "micro"; "obs" ]))
 
 let parse_args () =
   let jobs = ref (Vessel_engine.Pool.default_domains ()) in
@@ -171,7 +275,7 @@ let parse_args () =
 
 let () =
   let jobs, wanted = parse_args () in
-  let valid = List.map fst experiments @ [ "micro" ] in
+  let valid = List.map fst experiments @ [ "micro"; "obs" ] in
   let unknown = List.filter (fun w -> not (List.mem w valid)) wanted in
   if unknown <> [] then begin
     Printf.eprintf "error: unknown experiment id%s: %s\n"
@@ -198,6 +302,7 @@ let () =
       end)
     experiments;
   if run_all || List.mem "micro" wanted then run_micro ();
+  if run_all || List.mem "obs" wanted then run_obs_bench ();
   let total = Unix.gettimeofday () -. t0 in
   write_bench_json ~path:"BENCH_1.json" ~jobs ~total_seconds:total
     (List.rev !timings);

@@ -7,6 +7,8 @@
 open Cmdliner
 open Vessel_experiments
 
+let version = "1.1.0"
+
 let seed =
   let doc = "Root RNG seed; every run is deterministic given the seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
@@ -22,8 +24,39 @@ let jobs =
     & opt int (Vessel_engine.Pool.default_domains ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-(* Applied before every command so the sweeps below fan out. *)
-let with_jobs run = Term.(const (fun j -> Runner.set_domains j; run) $ jobs)
+let trace_file =
+  let doc =
+    "Write a Chrome trace_event JSON timeline of the run to $(docv) \
+     (open in Perfetto or chrome://tracing). Simulated nanoseconds map \
+     to trace microseconds; output is byte-identical at any -j N."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_file =
+  let doc =
+    "Write a JSON snapshot of the run's counters, gauges and latency \
+     histograms to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Output files are written after the command returns (see the bottom of
+   this file), so the flags only stash the paths and flip the probes on. *)
+let trace_out = ref None
+let metrics_out = ref None
+
+(* Applied before every command: fan sweeps out across domains and arm
+   the observability collector. *)
+let with_common run =
+  Term.(
+    const (fun j trace metrics ->
+        Runner.set_domains j;
+        trace_out := trace;
+        metrics_out := metrics;
+        if trace <> None || metrics <> None then
+          Vessel_obs.Collector.configure ~trace:(trace <> None)
+            ~metrics:(metrics <> None) ();
+        run)
+    $ jobs $ trace_file $ metrics_file)
 
 let cores =
   let doc = "Worker cores for the colocation experiments." in
@@ -73,45 +106,74 @@ let run_all seed cores =
   run_fig13b seed;
   run_ablation seed cores
 
-let cmd name doc term =
-  Cmd.v (Cmd.info name ~doc) term
+(* The single source of truth for what vessel-sim can run: subcommands
+   and the `list` output are both generated from this table. *)
+let command_table =
+  [
+    ("table1", "Table 1: context-switch latency",
+     Term.(with_common run_table1 $ seed));
+    ("fig1", "Figure 1: cost of colocation under Caladan",
+     Term.(with_common run_fig1 $ seed $ cores));
+    ("fig2", "Figure 2: dense colocation kernel cycles",
+     Term.(with_common run_fig2 $ seed));
+    ("fig3", "Figure 3: Caladan core-reallocation timeline",
+     Term.(with_common run_fig3 $ seed));
+    ("fig9", "Figure 9: L-app + B-app across all systems",
+     Term.(with_common run_fig9 $ seed $ cores $ l_app));
+    ("fig10", "Figure 10: dense colocation, 1 vs 10 instances",
+     Term.(with_common run_fig10 $ seed));
+    ("fig11", "Figure 11: cache friendliness",
+     Term.(with_common run_fig11 $ seed));
+    ("fig12", "Figure 12: goodput vs core count",
+     Term.(with_common run_fig12 $ seed));
+    ("fig13a", "Figure 13a: bandwidth-aware colocation",
+     Term.(with_common run_fig13a $ seed $ cores));
+    ("fig13b", "Figure 13b: bandwidth-regulation accuracy",
+     Term.(with_common run_fig13b $ seed));
+    ("ablation", "Ablations: switch-cost sweep, mechanism vs policy",
+     Term.(with_common run_ablation $ seed $ cores));
+    ("burst", "Burst absorption under us-scale load spikes",
+     Term.(
+       with_common (fun seed cores ->
+           Exp_burst.print (Exp_burst.run ~seed ~cores ()))
+       $ seed $ cores));
+    ("all", "Every table and figure",
+     Term.(with_common run_all $ seed $ cores));
+  ]
+
+let run_list () =
+  List.iter
+    (fun (name, doc, _) -> Printf.printf "%-10s %s\n" name doc)
+    command_table
 
 let cmds =
-  [
-    cmd "table1" "Table 1: context-switch latency"
-      Term.(with_jobs run_table1 $ seed);
-    cmd "fig1" "Figure 1: cost of colocation under Caladan"
-      Term.(with_jobs run_fig1 $ seed $ cores);
-    cmd "fig2" "Figure 2: dense colocation kernel cycles"
-      Term.(with_jobs run_fig2 $ seed);
-    cmd "fig3" "Figure 3: Caladan core-reallocation timeline"
-      Term.(with_jobs run_fig3 $ seed);
-    cmd "fig9" "Figure 9: L-app + B-app across all systems"
-      Term.(with_jobs run_fig9 $ seed $ cores $ l_app);
-    cmd "fig10" "Figure 10: dense colocation, 1 vs 10 instances"
-      Term.(with_jobs run_fig10 $ seed);
-    cmd "fig11" "Figure 11: cache friendliness"
-      Term.(with_jobs run_fig11 $ seed);
-    cmd "fig12" "Figure 12: goodput vs core count"
-      Term.(with_jobs run_fig12 $ seed);
-    cmd "fig13a" "Figure 13a: bandwidth-aware colocation"
-      Term.(with_jobs run_fig13a $ seed $ cores);
-    cmd "fig13b" "Figure 13b: bandwidth-regulation accuracy"
-      Term.(with_jobs run_fig13b $ seed);
-    cmd "ablation" "Ablations: switch-cost sweep, mechanism vs policy"
-      Term.(with_jobs run_ablation $ seed $ cores);
-    cmd "burst" "Burst absorption under us-scale load spikes"
-      Term.(
-        with_jobs (fun seed cores -> Exp_burst.print (Exp_burst.run ~seed ~cores ()))
-        $ seed $ cores);
-    cmd "all" "Every table and figure" Term.(with_jobs run_all $ seed $ cores);
-  ]
+  Cmd.v
+    (Cmd.info "list" ~version
+       ~doc:"Print every experiment id with a one-line description")
+    Term.(const run_list $ const ())
+  :: List.map
+       (fun (name, doc, term) -> Cmd.v (Cmd.info name ~version ~doc) term)
+       command_table
+
+let write_file path writer =
+  let oc = open_out path in
+  writer (output_string oc);
+  close_out oc
 
 let () =
   let info =
-    Cmd.info "vessel-sim" ~version:"1.0.0"
+    Cmd.info "vessel-sim" ~version
       ~doc:
         "Reproduce the evaluation of 'Fast Core Scheduling with Userspace \
          Process Abstraction' (SOSP '24)"
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  let code = Cmd.eval (Cmd.group info cmds) in
+  if code = 0 then begin
+    Option.iter
+      (fun f -> write_file f Vessel_obs.Collector.write_trace)
+      !trace_out;
+    Option.iter
+      (fun f -> write_file f Vessel_obs.Collector.write_metrics)
+      !metrics_out
+  end;
+  exit code

@@ -14,6 +14,8 @@ let global_executed = Atomic.make 0
 let total_events_executed () = Atomic.get global_executed
 
 let create ?(seed = 42) () =
+  if !Vessel_obs.Probe.on then
+    Vessel_obs.Probe.process ~name:(Printf.sprintf "sim seed=%d" seed);
   {
     clock = Time.zero;
     queue = Event_queue.create ();
@@ -57,7 +59,14 @@ let run_until t horizon =
       f t);
   if horizon > t.clock then t.clock <- horizon;
   let n = t.executed - before in
-  if n > 0 then ignore (Atomic.fetch_and_add global_executed n)
+  if n > 0 then begin
+    ignore (Atomic.fetch_and_add global_executed n);
+    if !Vessel_obs.Probe.metrics_on then
+      Vessel_obs.Probe.incr ~by:n Vessel_obs.Tag.sim_events;
+    if !Vessel_obs.Probe.on then
+      Vessel_obs.Probe.counter ~ts:t.clock ~track:Vessel_obs.Track.Engine
+        ~name:Vessel_obs.Tag.sim_events ~value:t.executed
+  end
 
 let run_for t d = run_until t (t.clock + d)
 

@@ -2,16 +2,25 @@ module Sim = Vessel_engine.Sim
 module S = Vessel_sched
 module U = Vessel_uprocess
 module Stats = Vessel_stats
+module Obs = Vessel_obs
 
 type t = {
   stages : (string * int) list;
   stage_total_ns : int;
   measured_preemption_us : float;
+  (* Timeline cross-check pulled from the observability stream: the same
+     reallocation as seen by the ipi/preempt/compute probes. *)
+  observed_ipi_flight_ns : int;
+  observed_send_to_dispatch_ns : int;
 }
 
 let service_ns = 1_000
 
 let run_point ~seed () =
+  (* Capture the probe stream into a bounded ring regardless of --trace,
+     so the printed report is identical with and without a trace file. *)
+  let ring = Obs.Ring.create () in
+  Obs.Probe.with_sink (Obs.Ring.sink ring) @@ fun () ->
   let b = Runner.build ~seed ~cores:1 Runner.Caladan in
   let baseline = Option.get b.Runner.baseline in
   let sys = b.Runner.sys in
@@ -45,11 +54,39 @@ let run_point ~seed () =
   sys.S.Sched_intf.stop ();
   let stages = S.Baseline.preempt_stages baseline in
   if !completed = 0 then failwith "Exp_fig3: request never completed";
+  let events = Obs.Ring.to_list ring in
+  let instant_ts name =
+    List.find_map
+      (function
+        | Obs.Event.Instant { ts; name = n; _ } when String.equal n name ->
+            Some ts
+        | _ -> None)
+      events
+  in
+  let require what = function
+    | Some ts -> ts
+    | None -> failwith (Printf.sprintf "Exp_fig3: no %s event in trace" what)
+  in
+  let send = require Obs.Tag.ipi_send (instant_ts Obs.Tag.ipi_send) in
+  let deliver = require Obs.Tag.ipi_deliver (instant_ts Obs.Tag.ipi_deliver) in
+  let lc_start =
+    require "lc compute"
+      (List.find_map
+         (function
+           | Obs.Event.Span_begin { ts; name; args; _ }
+             when String.equal name Obs.Tag.compute
+                  && List.assoc_opt "app" args = Some (Obs.Event.Int 1) ->
+               Some ts
+           | _ -> None)
+         events)
+  in
   {
     stages;
     stage_total_ns = List.fold_left (fun a (_, d) -> a + d) 0 stages;
     measured_preemption_us =
       float_of_int (!completed - !arrived - service_ns) /. 1e3;
+    observed_ipi_flight_ns = deliver - send;
+    observed_send_to_dispatch_ns = lc_start - send;
   }
 
 let run ?(seed = 42) () =
@@ -74,4 +111,8 @@ let print t =
   Report.table tbl;
   Report.kv "stage total" (Printf.sprintf "%.3fus" (float_of_int t.stage_total_ns /. 1e3));
   Report.kv "measured end-to-end preemption (wake to completion - service)"
-    (Printf.sprintf "%.3fus" t.measured_preemption_us)
+    (Printf.sprintf "%.3fus" t.measured_preemption_us);
+  Report.kv "observed ipi.send -> ipi.deliver (trace)"
+    (Printf.sprintf "%dns" t.observed_ipi_flight_ns);
+  Report.kv "observed ipi.send -> lc compute start (trace)"
+    (Printf.sprintf "%dns" t.observed_send_to_dispatch_ns)

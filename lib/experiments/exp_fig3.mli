@@ -13,6 +13,12 @@ type t = {
   measured_preemption_us : float;
       (** wake-to-completion of the single LC request minus its service
           time *)
+  observed_ipi_flight_ns : int;
+      (** [ipi.send] to [ipi.deliver] distance in the probe stream — the
+          run is captured into a {!Vessel_obs.Ring} unconditionally, so
+          the report never depends on [--trace] *)
+  observed_send_to_dispatch_ns : int;
+      (** [ipi.send] to the LC worker's first compute span *)
 }
 
 val run : ?seed:int -> unit -> t

@@ -18,7 +18,18 @@ let set_domains n = domain_count := max 1 n
 let domains () = !domain_count
 
 let sweep ?domains f points =
-  Pool.map ~domains:(Option.value domains ~default:!domain_count) f points
+  let domains = Option.value domains ~default:!domain_count in
+  if Vessel_obs.Collector.active () then begin
+    (* Each point becomes its own collector unit, keyed by (fork seq,
+       point index) — pure program structure — so traces and metrics
+       merge identically at any [-j N]. *)
+    let fork = Vessel_obs.Collector.fork_point () in
+    Pool.map ~domains
+      (fun (i, p) ->
+        Vessel_obs.Collector.with_child fork ~index:i (fun () -> f p))
+      (List.mapi (fun i p -> (i, p)) points)
+  end
+  else Pool.map ~domains f points
 
 let sweep_points ?domains jobs = sweep ?domains (fun job -> job ()) jobs
 

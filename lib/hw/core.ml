@@ -17,7 +17,9 @@ let create ~id ~rng =
 
 let id t = t.id
 let pkru t = t.pkru
-let set_pkru t v = t.pkru <- v
+let set_pkru t v =
+  if !Vessel_obs.Probe.metrics_on then Vessel_obs.Probe.incr "hw.pkru.writes";
+  t.pkru <- v
 let account t = t.account
 let charge t cat d = Vessel_stats.Cycle_account.charge t.account cat d
 let umwait t = t.umwait

@@ -1,13 +1,24 @@
 module Sim = Vessel_engine.Sim
+module Probe = Vessel_obs.Probe
+module Tag = Vessel_obs.Tag
 
 type t = { sim : Sim.t; cost : Cost_model.t; mutable sent : int }
 
 let create sim cost = { sim; cost; sent = 0 }
 
-let send t ~to_core:_ ~on_deliver =
+let send t ~to_core ~on_deliver =
   t.sent <- t.sent + 1;
+  if !Probe.metrics_on then Probe.incr "hw.ipi.sent";
   let delay = t.cost.Cost_model.ioctl + t.cost.Cost_model.ipi_flight in
-  ignore (Sim.schedule_after t.sim ~delay on_deliver)
+  if !Probe.on then begin
+    let track = Vessel_obs.Track.Core to_core in
+    Probe.instant ~ts:(Sim.now t.sim) ~track ~name:Tag.ipi_send ();
+    ignore
+      (Sim.schedule_after t.sim ~delay (fun sim ->
+           Probe.instant ~ts:(Sim.now sim) ~track ~name:Tag.ipi_deliver ();
+           on_deliver sim))
+  end
+  else ignore (Sim.schedule_after t.sim ~delay on_deliver)
 
 let send_cost t = t.cost.Cost_model.ioctl
 let flight_time t = t.cost.Cost_model.ipi_flight

@@ -1,6 +1,6 @@
 module Sim = Vessel_engine.Sim
 module Rng = Vessel_engine.Rng
-module Trace = Vessel_engine.Trace
+module Probe = Vessel_obs.Probe
 
 type t = {
   sim : Sim.t;
@@ -10,7 +10,6 @@ type t = {
   cache : Cache.t;
   uintr : Uintr.t;
   ipi : Ipi.t;
-  trace : Trace.t;
   mutable dispatch : (Uintr.receiver -> unit) list;
 }
 
@@ -30,9 +29,13 @@ let create ?(cost = Cost_model.default) ?membw ?cache ~cores:n sim =
         cache;
         uintr =
           Uintr.create ~notify:(fun r ->
+              if !Probe.on then
+                Probe.instant ~ts:(Sim.now sim)
+                  ~track:(Vessel_obs.Track.Uproc (Uintr.receiver_id r))
+                  ~name:Vessel_obs.Tag.uintr_notify ();
+              if !Probe.metrics_on then Probe.incr "hw.uintr.notify";
               List.iter (fun f -> f r) (Lazy.force t).dispatch);
         ipi = Ipi.create sim cost;
-        trace = Trace.create ();
         dispatch = [];
       }
   in
@@ -47,7 +50,6 @@ let membw t = t.membw
 let cache t = t.cache
 let uintr t = t.uintr
 let ipi t = t.ipi
-let trace t = t.trace
 let now t = Sim.now t.sim
 
 let set_uintr_dispatch t f = t.dispatch <- f :: t.dispatch

@@ -25,7 +25,6 @@ val membw : t -> Membw.t
 val cache : t -> Cache.t
 val uintr : t -> Uintr.t
 val ipi : t -> Ipi.t
-val trace : t -> Vessel_engine.Trace.t
 val now : t -> Vessel_engine.Time.t
 
 val set_uintr_dispatch : t -> (Uintr.receiver -> unit) -> unit

@@ -43,10 +43,16 @@ let senduipi t uitt ~index =
   | Some { target; vector } ->
       post target vector;
       if target.running && not target.suppressed then begin
+        if !Vessel_obs.Probe.metrics_on then
+          Vessel_obs.Probe.incr "hw.uintr.notified";
         t.notify target;
         `Notified
       end
-      else `Deferred
+      else begin
+        if !Vessel_obs.Probe.metrics_on then
+          Vessel_obs.Probe.incr "hw.uintr.deferred";
+        `Deferred
+      end
 
 let set_running t r running =
   let was = r.running in

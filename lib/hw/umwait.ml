@@ -16,6 +16,10 @@ let wake t ~at =
   | None -> invalid_arg "Umwait.wake: not idle"
   | Some s ->
       if at < s then invalid_arg "Umwait.wake: time went backwards";
+      if !Vessel_obs.Probe.metrics_on then begin
+        Vessel_obs.Probe.incr "hw.umwait.wakes";
+        Vessel_obs.Probe.observe "hw.umwait.idle_ns" (at - s)
+      end;
       t.total <- t.total + (at - s);
       t.wakes <- t.wakes + 1;
       t.since <- None

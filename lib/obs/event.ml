@@ -1,0 +1,50 @@
+type arg = Int of int | Str of string
+
+type t =
+  | Process of { name : string }
+  | Span_begin of {
+      ts : int;
+      track : Track.t;
+      name : string;
+      args : (string * arg) list;
+    }
+  | Span_end of { ts : int; track : Track.t }
+  | Instant of {
+      ts : int;
+      track : Track.t;
+      name : string;
+      args : (string * arg) list;
+    }
+  | Counter of { ts : int; track : Track.t; name : string; value : int }
+
+let ts = function
+  | Process _ -> 0
+  | Span_begin { ts; _ } | Span_end { ts; _ } | Instant { ts; _ }
+  | Counter { ts; _ } ->
+      ts
+
+let track = function
+  | Process _ -> None
+  | Span_begin { track; _ } | Span_end { track; _ } | Instant { track; _ }
+  | Counter { track; _ } ->
+      Some track
+
+let name = function
+  | Process { name } -> Some name
+  | Span_begin { name; _ } | Instant { name; _ } | Counter { name; _ } ->
+      Some name
+  | Span_end _ -> None
+
+let pp_arg fmt = function
+  | Int i -> Format.pp_print_int fmt i
+  | Str s -> Format.fprintf fmt "%S" s
+
+let pp fmt = function
+  | Process { name } -> Format.fprintf fmt "process %s" name
+  | Span_begin { ts; track; name; _ } ->
+      Format.fprintf fmt "[%d] %a B %s" ts Track.pp track name
+  | Span_end { ts; track } -> Format.fprintf fmt "[%d] %a E" ts Track.pp track
+  | Instant { ts; track; name; _ } ->
+      Format.fprintf fmt "[%d] %a i %s" ts Track.pp track name
+  | Counter { ts; track; name; value } ->
+      Format.fprintf fmt "[%d] %a C %s=%d" ts Track.pp track name value

@@ -1,0 +1,34 @@
+(** Typed trace events.
+
+    [Process] opens a fresh process scope inside a buffer: every
+    simulation instance emits one at creation so its tracks restart at
+    time zero under their own Perfetto process, keeping per-track
+    timestamps monotone. The remaining constructors mirror the Chrome
+    [trace_event] phases B/E/i/C. Timestamps are simulated nanoseconds. *)
+
+type arg = Int of int | Str of string
+
+type t =
+  | Process of { name : string }
+  | Span_begin of {
+      ts : int;
+      track : Track.t;
+      name : string;
+      args : (string * arg) list;
+    }
+  | Span_end of { ts : int; track : Track.t }
+  | Instant of {
+      ts : int;
+      track : Track.t;
+      name : string;
+      args : (string * arg) list;
+    }
+  | Counter of { ts : int; track : Track.t; name : string; value : int }
+
+val ts : t -> int
+(** 0 for [Process]. *)
+
+val track : t -> Track.t option
+val name : t -> string option
+val pp_arg : Format.formatter -> arg -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = {
+  mutable buf : Event.t array;
+  mutable len : int;
+}
+
+let dummy = Event.Process { name = "" }
+
+let create () = { buf = Array.make 256 dummy; len = 0 }
+
+let record t ev =
+  let cap = Array.length t.buf in
+  if t.len = cap then begin
+    let bigger = Array.make (2 * cap) dummy in
+    Array.blit t.buf 0 bigger 0 cap;
+    t.buf <- bigger
+  end;
+  t.buf.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let sink t = Sink.of_fn (record t)
+let length t = t.len
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let to_list t = List.init t.len (fun i -> t.buf.(i))
+
+let clear t = t.len <- 0

@@ -1,0 +1,13 @@
+(** An unbounded append-only event buffer — the sink behind [--trace].
+    One journal per sweep unit; the collector merges them in
+    deterministic unit order at export time. *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Sink.t
+val record : t -> Event.t -> unit
+val length : t -> int
+val iter : (Event.t -> unit) -> t -> unit
+val to_list : t -> Event.t list
+val clear : t -> unit

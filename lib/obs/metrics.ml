@@ -1,0 +1,177 @@
+(* Counters, gauges and log2-bucket histograms, merged deterministically
+   across sweep units (counter/histogram merge is commutative and
+   associative; gauge merge is last-writer-wins in merge order). *)
+
+module Hist = struct
+  (* Bucket 0 holds the value 0; bucket i >= 1 holds values v with
+     2^(i-1) <= v < 2^i, i.e. values whose binary representation has i
+     significant bits. *)
+  let buckets = 64
+
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable min_v : int;
+    mutable max_v : int;
+  }
+
+  let create () =
+    {
+      counts = Array.make buckets 0;
+      count = 0;
+      sum = 0;
+      min_v = Stdlib.max_int;
+      max_v = 0;
+    }
+
+  let index v =
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    bits v 0
+
+  let bucket_lower i = if i = 0 then 0 else 1 lsl (i - 1)
+
+  let observe t v =
+    if v < 0 then invalid_arg "Metrics.Hist.observe: negative value";
+    let i = index v in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+
+  let merge ~into src =
+    Array.iteri
+      (fun i c -> if c > 0 then into.counts.(i) <- into.counts.(i) + c)
+      src.counts;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum + src.sum;
+    if src.count > 0 then begin
+      if src.min_v < into.min_v then into.min_v <- src.min_v;
+      if src.max_v > into.max_v then into.max_v <- src.max_v
+    end
+
+  let copy t =
+    {
+      counts = Array.copy t.counts;
+      count = t.count;
+      sum = t.sum;
+      min_v = t.min_v;
+      max_v = t.max_v;
+    }
+
+  let equal a b =
+    a.count = b.count && a.sum = b.sum
+    && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
+    && a.counts = b.counts
+
+  let count t = t.count
+  let sum t = t.sum
+  let min t = if t.count = 0 then 0 else t.min_v
+  let max t = t.max_v
+  let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+  (* (bucket lower bound, count) for every non-empty bucket. *)
+  let nonempty t =
+    let acc = ref [] in
+    for i = buckets - 1 downto 0 do
+      if t.counts.(i) > 0 then acc := (bucket_lower i, t.counts.(i)) :: !acc
+    done;
+    !acc
+end
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; hists = Hashtbl.create 8 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c := !c + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let gauge_value t name =
+  Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Hist.create () in
+      Hashtbl.add t.hists name h;
+      h
+
+let observe t name v = Hist.observe (hist t name) v
+
+let merge ~into src =
+  Hashtbl.iter (fun name c -> incr ~by:!c into name) src.counters;
+  Hashtbl.iter (fun name g -> set_gauge into name !g) src.gauges;
+  Hashtbl.iter (fun name h -> Hist.merge ~into:(hist into name) h) src.hists
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.hists
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+(* JSON snapshot; keys sorted so the output is byte-stable. *)
+let write out t =
+  let first = ref true in
+  let sep () = if !first then first := false else out ",\n" in
+  out "{\n";
+  out "  \"schema\": \"vessel-metrics-1\",\n";
+  out "  \"counters\": {\n";
+  List.iter
+    (fun k ->
+      sep ();
+      out (Printf.sprintf "    %s: %d" (Json.quote k) (counter_value t k)))
+    (sorted_keys t.counters);
+  out "\n  },\n";
+  first := true;
+  out "  \"gauges\": {\n";
+  List.iter
+    (fun k ->
+      sep ();
+      out
+        (Printf.sprintf "    %s: %d" (Json.quote k)
+           (Option.value (gauge_value t k) ~default:0)))
+    (sorted_keys t.gauges);
+  out "\n  },\n";
+  first := true;
+  out "  \"histograms\": {\n";
+  List.iter
+    (fun k ->
+      sep ();
+      let h = Hashtbl.find t.hists k in
+      out
+        (Printf.sprintf
+           "    %s: { \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \
+            \"buckets\": [" (Json.quote k) (Hist.count h) (Hist.sum h)
+           (Hist.min h) (Hist.max h));
+      List.iteri
+        (fun i (lower, n) ->
+          if i > 0 then out ", ";
+          out (Printf.sprintf "[%d, %d]" lower n))
+        (Hist.nonempty h);
+      out "] }")
+    (sorted_keys t.hists);
+  out "\n  }\n}\n"
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  write (Buffer.add_string b) t;
+  Buffer.contents b

@@ -1,0 +1,46 @@
+(** The metrics registry: named counters, gauges and log2-bucket
+    histograms with a deterministic JSON snapshot.
+
+    One registry per sweep unit; [merge] folds them together. Counter and
+    histogram merges are commutative and associative and preserve totals
+    (property-tested); gauge merge is last-writer-wins in merge order,
+    which the collector fixes to sorted unit order. *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> int -> unit
+  (** Negative values raise [Invalid_argument]. *)
+
+  val merge : into:t -> t -> unit
+  val copy : t -> t
+  val equal : t -> t -> bool
+  val count : t -> int
+  val sum : t -> int
+  val min : t -> int
+  val max : t -> int
+  val mean : t -> float
+
+  val nonempty : t -> (int * int) list
+  (** [(bucket lower bound, count)] for every non-empty bucket, ascending. *)
+end
+
+type t
+
+val create : unit -> t
+val incr : ?by:int -> t -> string -> unit
+val counter_value : t -> string -> int
+val set_gauge : t -> string -> int -> unit
+val gauge_value : t -> string -> int option
+val hist : t -> string -> Hist.t
+(** The named histogram, created on first use. *)
+
+val observe : t -> string -> int -> unit
+val merge : into:t -> t -> unit
+val clear : t -> unit
+
+val write : (string -> unit) -> t -> unit
+(** JSON, keys sorted — byte-stable given equal contents. *)
+
+val to_string : t -> string

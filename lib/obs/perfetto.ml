@@ -1,0 +1,99 @@
+(* Chrome trace_event JSON writer (the "JSON Array Format" with a
+   traceEvents wrapper), loadable in Perfetto / chrome://tracing.
+
+   Simulated nanoseconds map to the `ts` field, which trace_event defines
+   in microseconds — we emit ns/1000 with three decimals so nothing is
+   lost. Each unit gets at least one `pid`; every Event.Process marker
+   inside a unit bumps to a fresh pid, because a unit may run several
+   simulations whose clocks all start at 0 and per-track timestamps must
+   stay monotone within one pid/tid pair. Track metadata (thread_name) is
+   re-emitted per pid on first use. *)
+
+let ts_str ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.)
+
+let arg_str (k, v) =
+  match v with
+  | Event.Int i -> Printf.sprintf "%s: %d" (Json.quote k) i
+  | Event.Str s -> Printf.sprintf "%s: %s" (Json.quote k) (Json.quote s)
+
+let args_str = function
+  | [] -> ""
+  | args ->
+      Printf.sprintf ", \"args\": {%s}"
+        (String.concat ", " (List.map arg_str args))
+
+let write out ~units =
+  out "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else out ",\n";
+    out line
+  in
+  let next_pid = ref 0 in
+  List.iter
+    (fun events ->
+      let pid = ref 0 in
+      let tracks = Hashtbl.create 8 in
+      let fresh_pid name =
+        incr next_pid;
+        pid := !next_pid;
+        Hashtbl.reset tracks;
+        emit
+          (Printf.sprintf
+             "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \
+              \"tid\": 0, \"args\": {\"name\": %s}}"
+             !pid (Json.quote name))
+      in
+      let track_tid tr =
+        if !pid = 0 then fresh_pid "sim";
+        let tid = Track.tid tr in
+        if not (Hashtbl.mem tracks tid) then begin
+          Hashtbl.add tracks tid ();
+          emit
+            (Printf.sprintf
+               "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \
+                \"tid\": %d, \"args\": {\"name\": %s}}"
+               !pid tid
+               (Json.quote (Track.name tr)))
+        end;
+        tid
+      in
+      List.iter
+        (fun ev ->
+          match (ev : Event.t) with
+          | Process { name } -> fresh_pid name
+          | Span_begin { ts; track; name; args } ->
+              let tid = track_tid track in
+              emit
+                (Printf.sprintf
+                   "{\"name\": %s, \"ph\": \"B\", \"ts\": %s, \"pid\": %d, \
+                    \"tid\": %d%s}"
+                   (Json.quote name) (ts_str ts) !pid tid (args_str args))
+          | Span_end { ts; track } ->
+              let tid = track_tid track in
+              emit
+                (Printf.sprintf
+                   "{\"ph\": \"E\", \"ts\": %s, \"pid\": %d, \"tid\": %d}"
+                   (ts_str ts) !pid tid)
+          | Instant { ts; track; name; args } ->
+              let tid = track_tid track in
+              emit
+                (Printf.sprintf
+                   "{\"name\": %s, \"ph\": \"i\", \"s\": \"t\", \"ts\": %s, \
+                    \"pid\": %d, \"tid\": %d%s}"
+                   (Json.quote name) (ts_str ts) !pid tid (args_str args))
+          | Counter { ts; track; name; value } ->
+              let tid = track_tid track in
+              emit
+                (Printf.sprintf
+                   "{\"name\": %s, \"ph\": \"C\", \"ts\": %s, \"pid\": %d, \
+                    \"tid\": %d, \"args\": {\"value\": %d}}"
+                   (Json.quote name) (ts_str ts) !pid tid value))
+        events)
+    units;
+  out "\n]}\n"
+
+let to_string ~units =
+  let b = Buffer.create 4096 in
+  write (Buffer.add_string b) ~units;
+  Buffer.contents b

@@ -1,0 +1,12 @@
+(** Chrome [trace_event] JSON exporter, loadable in Perfetto and
+    chrome://tracing.
+
+    Simulated nanoseconds map to [ts] (defined by the format in
+    microseconds) as [ns/1000] with three decimals, so nothing is lost.
+    Each element of [units] becomes at least one Perfetto process; every
+    {!Event.Process} marker inside a unit starts a fresh process so that
+    per-track timestamps stay monotone even when one unit runs several
+    simulations whose clocks each start at 0. *)
+
+val write : (string -> unit) -> units:Event.t list list -> unit
+val to_string : units:Event.t list list -> string

@@ -1,0 +1,79 @@
+(* The probe layer instrumented code calls into. Call sites guard on
+   [!on] / [!metrics_on] themselves, so a disabled probe costs one load
+   and one branch — the compiled-down "single branch" the Null sink
+   promises. *)
+
+type state = { mutable sink : Sink.t; mutable reg : Metrics.t option }
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { sink = Sink.null; reg = None })
+
+let state () = Domain.DLS.get state_key
+let on = ref false
+let metrics_on = ref false
+
+(* [on] is true when a trace file is configured globally or any domain is
+   inside a [with_sink] scope. The scope count is atomic so concurrent
+   scopes on worker domains can't lose each other's enable. *)
+let trace_configured = ref false
+let metrics_configured = ref false
+let local_scopes = Atomic.make 0
+
+let recompute () =
+  on := !trace_configured || Atomic.get local_scopes > 0;
+  metrics_on := !metrics_configured || Atomic.get local_scopes > 0
+
+let set_trace_configured v =
+  trace_configured := v;
+  recompute ()
+
+let set_metrics_configured v =
+  metrics_configured := v;
+  recompute ()
+
+let install ~sink ~reg =
+  let st = state () in
+  st.sink <- sink;
+  st.reg <- reg
+
+let current_sink () = (state ()).sink
+let current_reg () = (state ()).reg
+let emit ev = Sink.emit (state ()).sink ev
+
+let span_begin ~ts ~track ~name ?(args = []) () =
+  emit (Event.Span_begin { ts; track; name; args })
+
+let span_end ~ts ~track = emit (Event.Span_end { ts; track })
+
+let instant ~ts ~track ~name ?(args = []) () =
+  emit (Event.Instant { ts; track; name; args })
+
+let counter ~ts ~track ~name ~value =
+  emit (Event.Counter { ts; track; name; value })
+
+let process ~name = emit (Event.Process { name })
+
+let incr ?by name =
+  match (state ()).reg with Some reg -> Metrics.incr ?by reg name | None -> ()
+
+let observe name v =
+  match (state ()).reg with Some reg -> Metrics.observe reg name v | None -> ()
+
+let set_gauge name v =
+  match (state ()).reg with Some reg -> Metrics.set_gauge reg name v | None -> ()
+
+let with_sink ?reg sink f =
+  let st = state () in
+  let saved_sink = st.sink in
+  let saved_reg = st.reg in
+  st.sink <- Sink.tee sink saved_sink;
+  (match reg with Some _ -> st.reg <- reg | None -> ());
+  Atomic.incr local_scopes;
+  recompute ();
+  Fun.protect
+    ~finally:(fun () ->
+      st.sink <- saved_sink;
+      st.reg <- saved_reg;
+      ignore (Atomic.fetch_and_add local_scopes (-1));
+      recompute ())
+    f

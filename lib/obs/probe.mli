@@ -1,0 +1,60 @@
+(** The probe layer instrumented code calls into.
+
+    Hot call sites guard themselves:
+    {[
+      if !Vessel_obs.Probe.on then Vessel_obs.Probe.instant ~ts ~track ...
+    ]}
+    so a disabled probe costs a single load-and-branch (the bench suite
+    tracks this at <= 2% on the event-dispatch micro-benchmark). Trace
+    events go to the current domain's ambient {!Sink.t}; metric updates
+    go to the current domain's ambient {!Metrics.t} registry. Both are
+    installed per sweep unit by {!Collector} or scoped locally with
+    {!with_sink}. *)
+
+val on : bool ref
+(** True when any trace sink is live (global [--trace] or a local
+    {!with_sink} scope). Read it, don't write it. *)
+
+val metrics_on : bool ref
+(** True when a metrics registry is live. Read it, don't write it. *)
+
+(** {2 Trace events} *)
+
+val span_begin :
+  ts:int -> track:Track.t -> name:string -> ?args:(string * Event.arg) list -> unit -> unit
+
+val span_end : ts:int -> track:Track.t -> unit
+
+val instant :
+  ts:int -> track:Track.t -> name:string -> ?args:(string * Event.arg) list -> unit -> unit
+
+val counter : ts:int -> track:Track.t -> name:string -> value:int -> unit
+
+val process : name:string -> unit
+(** Marks the start of a new simulation instance; the Perfetto exporter
+    maps everything that follows (until the next marker) to a fresh
+    process so per-track timestamps stay monotone. *)
+
+(** {2 Metrics} *)
+
+val incr : ?by:int -> string -> unit
+val observe : string -> int -> unit
+val set_gauge : string -> int -> unit
+
+(** {2 Scoping} *)
+
+val with_sink : ?reg:Metrics.t -> Sink.t -> (unit -> 'a) -> 'a
+(** [with_sink sink f] runs [f] with [sink] teed over the current
+    domain's ambient sink and probes enabled; restores everything on
+    exit (including on exception). Scopes are per-domain and may run
+    concurrently on different domains. *)
+
+(** {2 Wiring — used by {!Collector} and tests} *)
+
+val set_trace_configured : bool -> unit
+val set_metrics_configured : bool -> unit
+val install : sink:Sink.t -> reg:Metrics.t option -> unit
+(** Replace the current domain's ambient sink and registry. *)
+
+val current_sink : unit -> Sink.t
+val current_reg : unit -> Metrics.t option

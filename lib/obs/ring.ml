@@ -1,23 +1,20 @@
-type record = { at : Time.t; tag : string; detail : string }
-
 type t = {
-  buf : record option array;
+  buf : Event.t option array;
   mutable next : int;
   mutable count : int;
 }
 
 let create ?(capacity = 4096) () =
-  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
   { buf = Array.make capacity None; next = 0; count = 0 }
 
-let record t ~at ~tag detail =
+let record t ev =
   let cap = Array.length t.buf in
-  t.buf.(t.next) <- Some { at; tag; detail };
+  t.buf.(t.next) <- Some ev;
   t.next <- (t.next + 1) mod cap;
   if t.count < cap then t.count <- t.count + 1
 
-let recordf t ~at ~tag fmt =
-  Format.kasprintf (fun s -> record t ~at ~tag s) fmt
+let sink t = Sink.of_fn (record t)
 
 let to_list t =
   let cap = Array.length t.buf in
@@ -31,7 +28,8 @@ let to_list t =
   in
   go 0 []
 
-let find_all t ~tag = List.filter (fun r -> r.tag = tag) (to_list t)
+let find_all t ~name =
+  List.filter (fun ev -> Event.name ev = Some name) (to_list t)
 
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) None;
@@ -41,6 +39,4 @@ let clear t =
 let length t = t.count
 
 let pp fmt t =
-  List.iter
-    (fun r -> Format.fprintf fmt "[%a] %-24s %s@." Time.pp r.at r.tag r.detail)
-    (to_list t)
+  List.iter (fun ev -> Format.fprintf fmt "%a@." Event.pp ev) (to_list t)

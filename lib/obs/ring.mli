@@ -1,0 +1,20 @@
+(** A bounded in-memory sink keeping the most recent [capacity] events —
+    the successor of the old [Vessel_engine.Trace] string ring, now
+    carrying typed events. Used by tests and by the Fig-3 experiment to
+    capture a reallocation timeline without a file. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 events. *)
+
+val sink : t -> Sink.t
+val record : t -> Event.t -> unit
+
+val to_list : t -> Event.t list
+(** Oldest first. *)
+
+val find_all : t -> name:string -> Event.t list
+val clear : t -> unit
+val length : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+type t = { emit : Event.t -> unit }
+
+let null = { emit = ignore }
+
+let tee a b = { emit = (fun ev -> a.emit ev; b.emit ev) }
+
+let of_fn emit = { emit }
+
+let emit t ev = t.emit ev

@@ -1,0 +1,14 @@
+(** Where trace events go. Probes are gated on {!Probe.on} before any
+    event is even constructed, so the null sink's cost at a disabled
+    probe site is a single load-and-branch. *)
+
+type t
+
+val null : t
+(** Drops everything. *)
+
+val tee : t -> t -> t
+(** Duplicate every event to both sinks (first, then second). *)
+
+val of_fn : (Event.t -> unit) -> t
+val emit : t -> Event.t -> unit

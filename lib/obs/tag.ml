@@ -1,0 +1,35 @@
+(* Every event tag used by the instrumented layers, defined once so the
+   probes, the experiments and the tests agree on spelling. *)
+
+(* hw *)
+let ipi_send = "ipi.send"
+let ipi_deliver = "ipi.deliver"
+let uintr_notify = "uintr.notify"
+
+(* uprocess runtime (the Figure-6 stages) *)
+let uintr_send = "uintr.send"
+let uintr_handle = "uintr.handle"
+let dispatch = "dispatch"
+
+(* executor *)
+let preempt = "preempt"
+let idle = "idle"
+let compute = "compute"
+let mem = "mem"
+let syscall = "syscall"
+let runtime_work = "runtime"
+let switch_initial = "switch.initial"
+let switch_park = "switch.park"
+let switch_preempt = "switch.preempt"
+let switch_exit = "switch.exit"
+let switch_wake = "switch.wake"
+
+(* schedulers *)
+let vessel_wake = "vessel.wake"
+let vessel_preempt = "vessel.preempt"
+let iok_grant = "iokernel.grant"
+let iok_preempt = "iokernel.preempt"
+let iok_release = "iokernel.release"
+
+(* engine *)
+let sim_events = "engine.events"

@@ -1,0 +1,26 @@
+(** Canonical event-tag spellings shared by probes, experiments and
+    tests. *)
+
+val ipi_send : string
+val ipi_deliver : string
+val uintr_notify : string
+val uintr_send : string
+val uintr_handle : string
+val dispatch : string
+val preempt : string
+val idle : string
+val compute : string
+val mem : string
+val syscall : string
+val runtime_work : string
+val switch_initial : string
+val switch_park : string
+val switch_preempt : string
+val switch_exit : string
+val switch_wake : string
+val vessel_wake : string
+val vessel_preempt : string
+val iok_grant : string
+val iok_preempt : string
+val iok_release : string
+val sim_events : string

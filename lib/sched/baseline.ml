@@ -3,6 +3,16 @@ module Hw = Vessel_hw
 module U = Vessel_uprocess
 module Stats = Vessel_stats
 module Cost_model = Hw.Cost_model
+module Probe = Vessel_obs.Probe
+module Tag = Vessel_obs.Tag
+
+let iok_instant t_now ~name ~app ~core =
+  Probe.instant ~ts:t_now ~track:Vessel_obs.Track.Sched ~name
+    ~args:
+      [
+        ("app", Vessel_obs.Event.Int app); ("core", Vessel_obs.Event.Int core);
+      ]
+    ()
 
 type grant_policy =
   | Delay_based of { hi : int; lo : int }
@@ -176,6 +186,8 @@ let acquire t ~core app =
 
 let release t ~core app =
   let a = app_state t app in
+  if !Probe.on then iok_instant (now t) ~name:Tag.iok_release ~app ~core;
+  if !Probe.metrics_on then Probe.incr "sched.iok.releases";
   t.spun.(core) <- false;
   t.owner.(core) <- None;
   a.granted <- a.granted - 1
@@ -308,6 +320,8 @@ let be_owned_core t =
   go 0
 
 let grant t ~app ~core =
+  if !Probe.on then iok_instant (now t) ~name:Tag.iok_grant ~app ~core;
+  if !Probe.metrics_on then Probe.incr "sched.iok.grants";
   acquire t ~core app;
   U.Exec.notify (get_exec t) ~core
 
@@ -319,6 +333,8 @@ let preempt_stages_of c =
   Cost_model.caladan_preempt_stages c
 
 let preempt_for t ~app ~core =
+  if !Probe.on then iok_instant (now t) ~name:Tag.iok_preempt ~app ~core;
+  if !Probe.metrics_on then Probe.incr "sched.iok.preempts";
   let c = Hw.Machine.cost t.machine in
   (match t.owner.(core) with
   | Some prev ->

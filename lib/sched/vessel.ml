@@ -69,6 +69,23 @@ let manager t = t.mgr
 let runtime t = t.rt
 let preempts_sent t = t.preempts
 
+module Probe = Vessel_obs.Probe
+module Tag = Vessel_obs.Tag
+
+let sched_now t = Sim.now (Hw.Machine.sim t.machine)
+
+(* Every reclamation decision funnels through here so the decision shows
+   up exactly once on the scheduler track. *)
+let send_preempt t ~core commands =
+  t.preempts <- t.preempts + 1;
+  if !Probe.on then
+    Probe.instant ~ts:(sched_now t) ~track:Vessel_obs.Track.Sched
+      ~name:Tag.vessel_preempt
+      ~args:[ ("core", Vessel_obs.Event.Int core) ]
+      ();
+  if !Probe.metrics_on then Probe.incr "sched.vessel.preempts";
+  U.Runtime.preempt_core t.rt ~core commands
+
 let app_state t id =
   match Hashtbl.find_opt t.apps id with
   | Some a -> a
@@ -138,11 +155,26 @@ let notify_app t ~app_id =
   | None -> ()
   | Some th -> (
       let core, kind = best_core t in
+      if !Probe.on then
+        Probe.instant ~ts:(sched_now t) ~track:Vessel_obs.Track.Sched
+          ~name:Tag.vessel_wake
+          ~args:
+            [
+              ("app", Vessel_obs.Event.Int app_id);
+              ("core", Vessel_obs.Event.Int core);
+              ( "kind",
+                Vessel_obs.Event.Str
+                  (match kind with
+                  | `Idle -> "idle"
+                  | `Preempt_be -> "preempt_be"
+                  | `Queue -> "queue") );
+            ]
+          ();
+      if !Probe.metrics_on then Probe.incr "sched.vessel.wakes";
       U.Runtime.wake_thread t.rt th ~core;
       match kind with
       | `Preempt_be when t.params.eager_preempt ->
-          t.preempts <- t.preempts + 1;
-          U.Runtime.preempt_core t.rt ~core [ U.Signal.Preempt_to_be ]
+          send_preempt t ~core [ U.Signal.Preempt_to_be ]
       | `Preempt_be | `Idle | `Queue -> ())
 
 let set_backlog_probe t ~app_id probe =
@@ -179,12 +211,10 @@ and scan_core t core =
   begin
     let delay = U.Runtime.queue_delay t.rt ~core in
     let runs_be = core_runs_be t core in
-    if runs_be && delay > t.params.be_preempt_delay then begin
+    if runs_be && delay > t.params.be_preempt_delay then
       (* A latency-critical thread is waiting behind best-effort work:
          preempt at once. *)
-      t.preempts <- t.preempts + 1;
-      U.Runtime.preempt_core t.rt ~core [ U.Signal.Preempt_to_be ]
-    end
+      send_preempt t ~core [ U.Signal.Preempt_to_be ]
     else if (not runs_be) && delay > t.params.overload_delay then begin
       let now = Vessel_engine.Sim.now (Hw.Machine.sim t.machine) in
       match U.Runtime.steal_queued t.rt ~core with
@@ -196,9 +226,7 @@ and scan_core t core =
               (* Move the waiter onto a best-effort core and reclaim it
                  right away. *)
               U.Runtime.assign t.rt th ~core:target;
-              t.preempts <- t.preempts + 1;
-              U.Runtime.preempt_core t.rt ~core:target
-                [ U.Signal.Preempt_to_be ]
+              send_preempt t ~core:target [ U.Signal.Preempt_to_be ]
           | target, `Queue when target <> core ->
               U.Runtime.assign t.rt th ~core:target
           | _, _ ->
@@ -209,8 +237,7 @@ and scan_core t core =
               if now - t.last_rotation.(core) >= t.params.rotation_quantum
               then begin
                 t.last_rotation.(core) <- now;
-                t.preempts <- t.preempts + 1;
-                U.Runtime.preempt_core t.rt ~core [ U.Signal.Preempt_to_be ]
+                send_preempt t ~core [ U.Signal.Preempt_to_be ]
               end)
       | None -> ()
     end

@@ -88,6 +88,10 @@ let enter t ~core ~fn_index ~user_stack =
               Hw.Core.set_pkru core task_pkru;
               Error (Unknown_function fn_index))
       | Ok (Some fn_id) ->
+          if !Vessel_obs.Probe.metrics_on then begin
+            Vessel_obs.Probe.incr "uproc.gate.enter";
+            Vessel_obs.Probe.observe "uproc.gate.enter_ns" !ns
+          end;
           Ok { fn_id; token; enter_ns = !ns })
 
 let leave t ~core session =
@@ -121,6 +125,10 @@ let leave t ~core session =
           Hw.Core.set_pkru core task_pkru;
           ns := !ns + cost.Cost_model.wrpkru + cost.Cost_model.rdpkru
         end
+      end;
+      if !Vessel_obs.Probe.metrics_on then begin
+        Vessel_obs.Probe.incr "uproc.gate.leave";
+        Vessel_obs.Probe.observe "uproc.gate.leave_ns" !ns
       end;
       Ok !ns
 

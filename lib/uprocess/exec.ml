@@ -2,6 +2,8 @@ module Sim = Vessel_engine.Sim
 module Time = Vessel_engine.Time
 module Hw = Vessel_hw
 module Stats = Vessel_stats
+module Probe = Vessel_obs.Probe
+module Tag = Vessel_obs.Tag
 
 type switch_kind = Initial | Park_switch | Preempt_switch | Exit_switch | Idle_wake
 
@@ -78,8 +80,19 @@ let now t = Hw.Machine.now t.machine
 let hw_core t core = Hw.Machine.core t.machine core
 let cost t = Hw.Machine.cost t.machine
 
+let core_track core = Vessel_obs.Track.Core core
+
+let cat_counter = function
+  | Stats.Cycle_account.App _ -> "cycles.app"
+  | Stats.Cycle_account.Runtime -> "cycles.runtime"
+  | Stats.Cycle_account.Kernel -> "cycles.kernel"
+  | Stats.Cycle_account.Idle -> "cycles.idle"
+
 let charge t ~core cat d =
-  if d > 0 then Hw.Core.charge (hw_core t core) cat d
+  if d > 0 then begin
+    if !Probe.metrics_on then Probe.incr ~by:d (cat_counter cat);
+    Hw.Core.charge (hw_core t core) cat d
+  end
 
 (* Action bookkeeping: which account a segment bills, and its completion
    callback. *)
@@ -89,6 +102,20 @@ let action_category t th = function
      even when the scheduler's switch overheads land in the kernel. *)
   | Uthread.Runtime_work _ -> Stats.Cycle_account.Runtime
   | _ -> Stats.Cycle_account.App (Uthread.app th)
+
+let action_name = function
+  | Uthread.Compute _ -> Tag.compute
+  | Uthread.Mem_work _ -> Tag.mem
+  | Uthread.Syscall _ -> Tag.syscall
+  | Uthread.Runtime_work _ -> Tag.runtime_work
+  | Uthread.Park | Uthread.Exit -> "none"
+
+let kind_name = function
+  | Initial -> Tag.switch_initial
+  | Park_switch -> Tag.switch_park
+  | Preempt_switch -> Tag.switch_preempt
+  | Exit_switch -> Tag.switch_exit
+  | Idle_wake -> Tag.switch_wake
 
 let action_completion = function
   | Uthread.Compute { on_complete; _ }
@@ -105,8 +132,17 @@ let rec free_core t ~core ~kind ~extra =
   in
   if overhead <= 0 then land_switch t ~core ~next
   else begin
+    if !Probe.on then
+      Probe.span_begin ~ts:(now t) ~track:(core_track core)
+        ~name:(kind_name kind) ();
+    if !Probe.metrics_on then begin
+      Probe.incr "uproc.switches";
+      Probe.observe "uproc.switch_ns" overhead
+    end;
     let handle =
       Sim.schedule_after (sim t) ~delay:overhead (fun _ ->
+          if !Probe.on then
+            Probe.span_end ~ts:(now t) ~track:(core_track core);
           charge t ~core t.hooks.overhead_category overhead;
           match t.states.(core) with
           | Switching s ->
@@ -133,6 +169,9 @@ and land_switch t ~core ~next =
       | Some th -> start_thread t ~core th
       | None ->
           t.states.(core) <- Idle { since = now t };
+          if !Probe.on then
+            Probe.span_begin ~ts:(now t) ~track:(core_track core)
+              ~name:Tag.idle ();
           Hw.Umwait.enter (Hw.Core.umwait (hw_core t core)) ~at:(now t);
           t.hooks.on_idle ~core)
 
@@ -184,6 +223,15 @@ and exec_segment t ~core th =
 and run_timed t ~core th action ~effective =
   let effective = max 0 effective in
   let started = now t in
+  if !Probe.on then
+    Probe.span_begin ~ts:started ~track:(core_track core)
+      ~name:(action_name action)
+      ~args:
+        [
+          ("tid", Vessel_obs.Event.Int (Uthread.tid th));
+          ("app", Vessel_obs.Event.Int (Uthread.app th));
+        ]
+      ();
   let handle =
     Sim.schedule_after (sim t) ~delay:effective (fun _ ->
         complete_segment t ~core th action ~effective)
@@ -191,6 +239,7 @@ and run_timed t ~core th action ~effective =
   t.states.(core) <- Executing { th; action; started; effective; handle }
 
 and complete_segment t ~core th action ~effective =
+  if !Probe.on then Probe.span_end ~ts:(now t) ~track:(core_track core);
   charge t ~core (action_category t th action) effective;
   (match action with
   | Uthread.Compute _ | Uthread.Mem_work _ -> Uthread.charge th effective
@@ -211,6 +260,13 @@ and preempt t ~core ~overhead =
   | Switching s -> s.preempt_after <- true
   | Executing { th; action; started; effective; handle } ->
       Sim.cancel handle;
+      if !Probe.on then begin
+        Probe.span_end ~ts:(now t) ~track:(core_track core);
+        Probe.instant ~ts:(now t) ~track:(core_track core) ~name:Tag.preempt
+          ~args:[ ("tid", Vessel_obs.Event.Int (Uthread.tid th)) ]
+          ()
+      end;
+      if !Probe.metrics_on then Probe.incr "uproc.preempts";
       let executed = min effective (now t - started) in
       charge t ~core (action_category t th action) executed;
       (match action with
@@ -252,6 +308,7 @@ and notify t ~core =
   match t.states.(core) with
   | Idle { since } ->
       let c = cost t in
+      if !Probe.on then Probe.span_end ~ts:(now t) ~track:(core_track core);
       charge t ~core Stats.Cycle_account.Idle (now t - since);
       Hw.Umwait.wake (Hw.Core.umwait (hw_core t core)) ~at:(now t);
       free_core t ~core ~kind:Idle_wake ~extra:c.Hw.Cost_model.umwait_wake
@@ -276,6 +333,11 @@ let current t ~core =
 let is_idle t ~core = match t.states.(core) with Idle _ -> true | _ -> false
 
 let stop t ~core =
+  (* Every non-stopped state has one open span on the core's track. *)
+  (match t.states.(core) with
+  | Executing _ | Switching _ | Idle _ when !Probe.on ->
+      Probe.span_end ~ts:(now t) ~track:(core_track core)
+  | _ -> ());
   (match t.states.(core) with
   | Executing { th; action; started; effective; handle } ->
       Sim.cancel handle;

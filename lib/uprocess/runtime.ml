@@ -3,6 +3,8 @@ module Hw = Vessel_hw
 module Mem = Vessel_mem
 module Stats = Vessel_stats
 module Cost_model = Hw.Cost_model
+module Probe = Vessel_obs.Probe
+module Tag = Vessel_obs.Tag
 
 type t = {
   machine : Hw.Machine.t;
@@ -21,7 +23,6 @@ type t = {
   park_hist : Stats.Histogram.t;
   mutable idle_callback : (core:int -> unit) option;
   mutable next_tid : int;
-  mutable tracing : bool;
 }
 
 let get_exec t =
@@ -140,11 +141,6 @@ let switch_overhead t ~core ~kind ~next =
       in
       Hw.Machine.jitter t.machine core base
 
-let trace t ~tag fmt =
-  if t.tracing then
-    Vessel_engine.Trace.recordf (Hw.Machine.trace t.machine) ~at:(now t) ~tag fmt
-  else Format.ikfprintf ignore Format.str_formatter fmt
-
 let on_run t ~core th =
   (* Figure 6, step 3: publish the mapping and flip the core's PKRU to the
      target uProcess's image. *)
@@ -155,8 +151,17 @@ let on_run t ~core th =
   in
   Message_pipe.set_task t.pipe ~core ~tid:(Uthread.tid th) ~pkru;
   Hw.Core.set_pkru (Hw.Machine.core t.machine core) pkru;
-  trace t ~tag:"dispatch" "core %d -> tid %d (uproc %d)" core (Uthread.tid th)
-    (Uthread.uproc th);
+  if !Probe.on then
+    Probe.instant ~ts:(now t)
+      ~track:(Vessel_obs.Track.Core core)
+      ~name:Tag.dispatch
+      ~args:
+        [
+          ("tid", Vessel_obs.Event.Int (Uthread.tid th));
+          ("uproc", Vessel_obs.Event.Int (Uthread.uproc th));
+        ]
+      ();
+  if !Probe.metrics_on then Probe.incr "uproc.dispatches";
   Hw.Uintr.set_running (Hw.Machine.uintr t.machine) t.receivers.(core) true
 
 let on_descheduled t ~core th =
@@ -187,7 +192,11 @@ let on_idle t ~core =
 
 let handle_uintr t ~core =
   (* Runs [uintr_delivery] ns after senduipi, in the victim's handler. *)
-  trace t ~tag:"uintr.handle" "core %d enters privileged mode" core;
+  if !Probe.on then
+    Probe.instant ~ts:(now t)
+      ~track:(Vessel_obs.Track.Core core)
+      ~name:Tag.uintr_handle ();
+  if !Probe.metrics_on then Probe.incr "uproc.uintr.handled";
   if process_commands t ~core then Exec.preempt (get_exec t) ~core ~overhead:0
 
 let create ~machine ~smas () =
@@ -221,7 +230,6 @@ let create ~machine ~smas () =
       park_hist = Stats.Histogram.create ();
       idle_callback = None;
       next_tid = 1;
-      tracing = false;
     }
   in
   let hooks =
@@ -376,8 +384,13 @@ let assign_be t th =
 let steal_queued t ~core = pop_live t t.core_queues.(core)
 
 let preempt_core t ~core commands =
-  trace t ~tag:"uintr.send" "scheduler -> core %d (%d commands)" core
-    (List.length commands);
+  if !Probe.on then
+    Probe.instant ~ts:(now t)
+      ~track:(Vessel_obs.Track.Core core)
+      ~name:Tag.uintr_send
+      ~args:[ ("commands", Vessel_obs.Event.Int (List.length commands)) ]
+      ();
+  if !Probe.metrics_on then Probe.incr "uproc.uintr.sends";
   List.iter (Signal.push t.signals ~core) commands;
   match Hw.Uintr.senduipi (Hw.Machine.uintr t.machine) t.uitt ~index:core with
   | `Notified -> ()
@@ -388,4 +401,3 @@ let preempt_core t ~core commands =
 
 let set_idle_callback t f = t.idle_callback <- Some f
 let switch_latencies t = t.park_hist
-let set_tracing t on = t.tracing <- on

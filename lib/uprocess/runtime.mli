@@ -113,12 +113,11 @@ val set_idle_callback : t -> (core:int -> unit) -> unit
     also came up empty). *)
 
 val switch_latencies : t -> Vessel_stats.Histogram.t
-(** Every park-path context-switch latency observed — the Table 1 data. *)
+(** Every park-path context-switch latency observed — the Table 1 data.
 
-val set_tracing : t -> bool -> unit
-(** When on, the runtime records the Figure-6 stages into the machine's
-    trace ring: [uintr.send] (scheduler -> victim), [uintr.handle]
-    (handler entry in privileged mode), [dispatch] (task map updated, PKRU
-    flipped). Off by default — tracing allocates per event. *)
+    The Figure-6 stages ([uintr.send] scheduler -> victim, [uintr.handle]
+    handler entry, [dispatch] task map updated + PKRU flipped) are emitted
+    as {!Vessel_obs} instants on the victim core's track whenever a trace
+    sink is live; see {!Vessel_obs.Tag}. *)
 
 val ncores : t -> int

@@ -10,7 +10,9 @@ type error = [ `EBADF | `EACCES | `Exec_mapping_prohibited ]
 let create () =
   { owners = Hashtbl.create 64; paths = Hashtbl.create 64; next_fd = 3; calls = 0 }
 
-let count t = t.calls <- t.calls + 1
+let count t =
+  if !Vessel_obs.Probe.metrics_on then Vessel_obs.Probe.incr "uproc.syscalls";
+  t.calls <- t.calls + 1
 
 let openf t ~slot ~path =
   count t;

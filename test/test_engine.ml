@@ -1,5 +1,6 @@
 (* Tests for the discrete-event engine: time, RNG, distributions, the event
-   queue, the simulation driver and the trace ring. *)
+   queue and the simulation driver. The trace ring moved to [Vessel_obs]
+   (see test_obs.ml). *)
 
 open Vessel_engine
 
@@ -444,34 +445,6 @@ let test_sim_deterministic_replay () =
   in
   Alcotest.(check (list int)) "replay identical" (run ()) (run ())
 
-(* ------------------------------------------------------------------ *)
-(* Trace *)
-
-let test_trace_order () =
-  let t = Trace.create () in
-  Trace.record t ~at:1 ~tag:"x" "one";
-  Trace.record t ~at:2 ~tag:"y" "two";
-  let tags = List.map (fun r -> r.Trace.tag) (Trace.to_list t) in
-  Alcotest.(check (list string)) "order" [ "x"; "y" ] tags
-
-let test_trace_wraps () =
-  let t = Trace.create ~capacity:3 () in
-  for i = 1 to 5 do
-    Trace.record t ~at:i ~tag:"t" (string_of_int i)
-  done;
-  check_int "capped" 3 (Trace.length t);
-  let details = List.map (fun r -> r.Trace.detail) (Trace.to_list t) in
-  Alcotest.(check (list string)) "most recent" [ "3"; "4"; "5" ] details
-
-let test_trace_find_and_clear () =
-  let t = Trace.create () in
-  Trace.record t ~at:1 ~tag:"a" "";
-  Trace.record t ~at:2 ~tag:"b" "";
-  Trace.record t ~at:3 ~tag:"a" "";
-  check_int "find_all" 2 (List.length (Trace.find_all t ~tag:"a"));
-  Trace.clear t;
-  check_int "cleared" 0 (Trace.length t)
-
 let suite =
   [
     ( "engine.time",
@@ -532,11 +505,5 @@ let suite =
         Alcotest.test_case "step" `Quick test_sim_step;
         Alcotest.test_case "deterministic replay" `Quick
           test_sim_deterministic_replay;
-      ] );
-    ( "engine.trace",
-      [
-        Alcotest.test_case "order" `Quick test_trace_order;
-        Alcotest.test_case "ring wraps" `Quick test_trace_wraps;
-        Alcotest.test_case "find/clear" `Quick test_trace_find_and_clear;
       ] );
   ]

@@ -10,6 +10,7 @@ module S = Vessel_sched
 module W = Vessel_workloads
 module Sim = Vessel_engine.Sim
 module Stats = Vessel_stats
+module Obs = Vessel_obs
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -156,16 +157,16 @@ let test_dlopen_in_live_domain () =
   U.Manager.stop mgr;
   check_bool "app unharmed" true (U.Uthread.total_app_ns th > 50_000)
 
-(* The Figure-6 stages appear in the machine trace in the documented
+(* The Figure-6 stages appear in the probe stream in the documented
    order: senduipi, handler entry in privileged mode, dispatch with the
    PKRU flip. *)
 let test_fig6_trace () =
+  let ring = Obs.Ring.create () in
+  Obs.Probe.with_sink (Obs.Ring.sink ring) @@ fun () ->
   let sim = Sim.create ~seed:9 () in
   let machine = Hw.Machine.create ~cores:1 sim in
   let v = S.Vessel.make ~machine () in
   let sys = S.Vessel.system v in
-  let rt = S.Vessel.runtime v in
-  U.Runtime.set_tracing rt true;
   let lc = W.Memcached.make ~sim ~sys ~app_id:1 ~workers:1 () in
   let _lp = W.Linpack.make ~sys ~app_id:2 ~workers:1 () in
   sys.S.Sched_intf.start ();
@@ -175,23 +176,20 @@ let test_fig6_trace () =
          W.Openloop.start lc ~rate_rps:1_000_000. ~until:60_000));
   Sim.run_until sim 200_000;
   sys.S.Sched_intf.stop ();
-  let tr = Hw.Machine.trace machine in
-  let sends = Vessel_engine.Trace.find_all tr ~tag:"uintr.send" in
-  let handles = Vessel_engine.Trace.find_all tr ~tag:"uintr.handle" in
-  let dispatches = Vessel_engine.Trace.find_all tr ~tag:"dispatch" in
+  let ts_of = List.map Obs.Event.ts in
+  let sends = ts_of (Obs.Ring.find_all ring ~name:Obs.Tag.uintr_send) in
+  let handles = ts_of (Obs.Ring.find_all ring ~name:Obs.Tag.uintr_handle) in
+  let dispatches = ts_of (Obs.Ring.find_all ring ~name:Obs.Tag.dispatch) in
   check_bool "send recorded" true (sends <> []);
   check_bool "handle recorded" true (handles <> []);
   check_bool "dispatch recorded" true (dispatches <> []);
   (* Delivery follows the send by the Uintr latency; a dispatch follows. *)
-  let s0 = (List.hd sends).Vessel_engine.Trace.at in
-  let h0 =
-    List.find (fun r -> r.Vessel_engine.Trace.at >= s0) handles
-  in
+  let s0 = List.hd sends in
+  let h0 = List.find (fun at -> at >= s0) handles in
   check_int "delivery latency"
-    Hw.Cost_model.default.Hw.Cost_model.uintr_delivery
-    (h0.Vessel_engine.Trace.at - s0);
+    Hw.Cost_model.default.Hw.Cost_model.uintr_delivery (h0 - s0);
   check_bool "a dispatch follows the handler" true
-    (List.exists (fun r -> r.Vessel_engine.Trace.at >= h0.Vessel_engine.Trace.at) dispatches)
+    (List.exists (fun at -> at >= h0) dispatches)
 
 (* The 13-uProcess limit end to end through a live scheduler. *)
 let test_thirteen_uprocesses_live () =
