@@ -18,12 +18,10 @@
 
 open Vessel_experiments
 
-let seed = 42
-
 (* ------------------------------------------------------------------ *)
 (* Figure/table regeneration *)
 
-let experiments : (string * (unit -> unit)) list =
+let experiments ~seed : (string * (unit -> unit)) list =
   [
     ("table1", fun () -> Exp_table1.print (Exp_table1.run ~seed ()));
     ("fig1", fun () -> Exp_fig1.print (Exp_fig1.run ~seed ()));
@@ -59,7 +57,8 @@ let module_tests () =
   let hist = Vessel_stats.Histogram.create () in
   let cache = Vessel_hw.Cache.create () in
   let pkey = Vessel_hw.Pkey.of_int 3 in
-  let eq = Vessel_engine.Event_queue.create () in
+  let eq = Vessel_engine.Event_queue.create ~backend:Vessel_engine.Event_queue.Wheel () in
+  let eqh = Vessel_engine.Event_queue.create ~backend:Vessel_engine.Event_queue.Heap () in
   let eqb = Vessel_engine.Event_queue.create () in
   let counter = ref 0 in
   [
@@ -84,6 +83,11 @@ let module_tests () =
            incr counter;
            ignore (Vessel_engine.Event_queue.add eq ~time:!counter ());
            ignore (Vessel_engine.Event_queue.pop eq)));
+    Test.make ~name:"event_queue.add+pop(heap)"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Vessel_engine.Event_queue.add eqh ~time:!counter ());
+           ignore (Vessel_engine.Event_queue.pop eqh)));
     Test.make ~name:"event_queue.add+pop_if_before"
       (Staged.stage (fun () ->
            incr counter;
@@ -114,6 +118,111 @@ let run_micro () =
       | Some (est :: _) -> Printf.printf "%-36s %10.1f ns/op\n" name est
       | _ -> Printf.printf "%-36s (no estimate)\n" name)
     (List.sort compare rows)
+
+let time_reps ~reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let d = Unix.gettimeofday () -. t0 in
+    if d < !best then best := d
+  done;
+  !best
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* ------------------------------------------------------------------ *)
+(* Event-queue micro: steady churn (pop the earliest event, schedule a
+   replacement a pseudo-random delay later) at a fixed pending count —
+   the access pattern a simulation core puts on the queue, where the
+   heap pays O(log n) per op and the wheel stays O(1). *)
+
+type queue_row = {
+  qr_backend : string;
+  qr_pending : int;
+  qr_ns_per_op : float;
+  qr_events_per_sec : float;
+}
+
+let queue_churn ~backend ~pending ~ops =
+  let open Vessel_engine in
+  let q = Event_queue.create ~backend () in
+  let st = ref 0x9E3779B9 in
+  (* Inline xorshift: deterministic, allocation-free delays in [1, 2^20). *)
+  let next_delta () =
+    let x = !st in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = (x lxor (x lsl 17)) land max_int in
+    st := x;
+    1 + ((x lsr 11) land 0xF_FFFF)
+  in
+  let now = ref 0 in
+  for _ = 1 to pending do
+    ignore (Event_queue.add q ~time:(!now + next_delta ()) ())
+  done;
+  let churn n =
+    for _ = 1 to n do
+      (match Event_queue.pop q with Some (t, ()) -> now := t | None -> ());
+      ignore (Event_queue.add q ~time:(!now + next_delta ()) ())
+    done
+  in
+  churn pending;
+  (* warm: reach steady state, size the entry pool *)
+  let dt = time_reps ~reps:3 (fun () -> churn ops) in
+  {
+    qr_backend =
+      (match backend with Event_queue.Wheel -> "wheel" | Heap -> "heap");
+    qr_pending = pending;
+    qr_ns_per_op = dt /. float_of_int ops *. 1e9;
+    qr_events_per_sec = float_of_int ops /. dt;
+  }
+
+(* The bare add+pop pair on an otherwise-empty queue with advancing
+   time — the BENCH trajectory's headline queue number. Reported as
+   pending=0. *)
+let queue_add_pop ~backend =
+  let open Vessel_engine in
+  let q = Event_queue.create ~backend () in
+  let ops = 5_000_000 in
+  let run () =
+    for time = 1 to ops do
+      ignore (Event_queue.add q ~time ());
+      ignore (Event_queue.pop q)
+    done
+  in
+  run ();
+  let dt = time_reps ~reps:5 run in
+  {
+    qr_backend =
+      (match backend with Event_queue.Wheel -> "wheel" | Heap -> "heap");
+    qr_pending = 0;
+    qr_ns_per_op = dt /. float_of_int ops *. 1e9;
+    qr_events_per_sec = float_of_int ops /. dt;
+  }
+
+let run_queue_bench () =
+  Report.section "Event-queue churn (add+pop at steady pending, ns/op)";
+  let ops = 2_000_000 in
+  let rows =
+    List.concat_map
+      (fun backend ->
+        queue_add_pop ~backend
+        :: List.map
+             (fun pending -> queue_churn ~backend ~pending ~ops)
+             [ 1_000; 10_000; 100_000 ])
+      [ Vessel_engine.Event_queue.Heap; Vessel_engine.Event_queue.Wheel ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s pending=%-7d %8.1f ns/op %10.1f M events/s\n"
+        r.qr_backend r.qr_pending r.qr_ns_per_op
+        (r.qr_events_per_sec /. 1e6))
+    rows;
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Observability overhead: the Null-sink <= 2% claim.
@@ -152,29 +261,13 @@ let dispatch_loop ~probed n =
   ignore (Vessel_engine.Sim.schedule sim ~at:1 step);
   Vessel_engine.Sim.run_until sim (n + 2)
 
-let time_reps ~reps f =
-  let best = ref infinity in
-  for _ = 1 to reps do
-    let t0 = Unix.gettimeofday () in
-    f ();
-    let d = Unix.gettimeofday () -. t0 in
-    if d < !best then best := d
-  done;
-  !best
-
-let time_once f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Unix.gettimeofday () -. t0
-
 let run_obs_bench () =
   Report.section "Observability overhead (event dispatch, Null sink)";
   let reps = 17 in
   let n = dispatch_events in
   (* A minor collection inside a ~35ms timed window is the dominant
-     jitter; give the loop room and collect only between reps. *)
-  let gc = Gc.get () in
-  Gc.set { gc with Gc.minor_heap_size = 1 lsl 22; space_overhead = 400 };
+     jitter; [Pool.tune_gc] (applied at startup) gives the loop room,
+     and we collect only between reps. *)
   let t_plain = ref infinity and t_off = ref infinity in
   let ratios = ref [] in
   (* warm-up rep, discarded *)
@@ -216,7 +309,6 @@ let run_obs_bench () =
   Printf.fprintf oc "  \"tracing_enabled_events_per_sec\": %.0f,\n" (rate t_on);
   Printf.fprintf oc "  \"null_sink_overhead_pct\": %.2f\n}\n" overhead_pct;
   close_out oc;
-  Gc.set gc;
   Printf.printf "(BENCH_2.json written)\n%!"
 
 (* ------------------------------------------------------------------ *)
@@ -242,28 +334,66 @@ let write_bench_json ~path ~jobs ~total_seconds timings =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
+(* BENCH_4.json: the vessel-bench-1 record plus the run's seed and the
+   event-queue churn rows, so the perf trajectory tracks both the whole
+   suite and the queue in isolation. *)
+let write_bench4_json ~path ~jobs ~seed ~total_seconds ~queue timings =
+  let oc = open_out path in
+  let rate t = if t.seconds > 0. then float_of_int t.events /. t.seconds else 0. in
+  Printf.fprintf oc "{\n  \"schema\": \"vessel-bench-1\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n" total_seconds;
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i t ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"seconds\": %.3f, \"events\": %d, \
+         \"events_per_sec\": %.0f }%s\n"
+        t.name t.seconds t.events (rate t)
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ],\n  \"queue\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"backend\": %S, \"pending\": %d, \"ns_per_op\": %.2f, \
+         \"events_per_sec\": %.0f }%s\n"
+        r.qr_backend r.qr_pending r.qr_ns_per_op r.qr_events_per_sec
+        (if i = List.length queue - 1 then "" else ","))
+    queue;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
 (* ------------------------------------------------------------------ *)
 
+let experiment_ids = List.map fst (experiments ~seed:42)
+
 let usage () =
-  Printf.eprintf "usage: main.exe [-j N] [EXPERIMENT...]\nvalid ids: %s\n"
-    (String.concat " " (List.map fst experiments @ [ "micro"; "obs" ]))
+  Printf.eprintf
+    "usage: main.exe [-j N] [--seed N] [EXPERIMENT...]\nvalid ids: %s\n"
+    (String.concat " " (experiment_ids @ [ "micro"; "queue"; "obs" ]))
 
 let parse_args () =
   let jobs = ref (Vessel_engine.Pool.default_domains ()) in
+  let seed = ref 42 in
   let wanted = ref [] in
+  let int_flag flag r n rest go =
+    match int_of_string_opt n with
+    | Some n when n >= 1 ->
+        r := n;
+        go rest
+    | _ ->
+        Printf.eprintf "error: %s expects a positive integer, got %S\n" flag n;
+        usage ();
+        exit 2
+  in
   let rec go = function
     | [] -> ()
-    | "-j" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some n when n >= 1 ->
-            jobs := n;
-            go rest
-        | _ ->
-            Printf.eprintf "error: -j expects a positive integer, got %S\n" n;
-            usage ();
-            exit 2)
-    | "-j" :: [] ->
-        Printf.eprintf "error: -j expects an argument\n";
+    | "-j" :: n :: rest -> int_flag "-j" jobs n rest go
+    | "--seed" :: n :: rest -> int_flag "--seed" seed n rest go
+    | [ ("-j" | "--seed") ] ->
+        Printf.eprintf "error: flag expects an argument\n";
         usage ();
         exit 2
     | name :: rest ->
@@ -271,11 +401,11 @@ let parse_args () =
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!jobs, List.rev !wanted)
+  (!jobs, !seed, List.rev !wanted)
 
 let () =
-  let jobs, wanted = parse_args () in
-  let valid = List.map fst experiments @ [ "micro"; "obs" ] in
+  let jobs, seed, wanted = parse_args () in
+  let valid = experiment_ids @ [ "micro"; "queue"; "obs" ] in
   let unknown = List.filter (fun w -> not (List.mem w valid)) wanted in
   if unknown <> [] then begin
     Printf.eprintf "error: unknown experiment id%s: %s\n"
@@ -284,6 +414,7 @@ let () =
     usage ();
     exit 2
   end;
+  Vessel_engine.Pool.tune_gc ();
   Runner.set_domains jobs;
   let run_all = wanted = [] in
   let timings = ref [] in
@@ -300,10 +431,16 @@ let () =
         Printf.printf "[%s: %.1fs, %.1fM events]\n%!" name seconds
           (float_of_int events /. 1e6)
       end)
-    experiments;
+    (experiments ~seed);
   if run_all || List.mem "micro" wanted then run_micro ();
+  let queue_rows =
+    if run_all || List.mem "queue" wanted then run_queue_bench () else []
+  in
   if run_all || List.mem "obs" wanted then run_obs_bench ();
   let total = Unix.gettimeofday () -. t0 in
   write_bench_json ~path:"BENCH_1.json" ~jobs ~total_seconds:total
     (List.rev !timings);
-  Printf.printf "\ntotal: %.1fs (-j %d; BENCH_1.json written)\n" total jobs
+  write_bench4_json ~path:"BENCH_4.json" ~jobs ~seed ~total_seconds:total
+    ~queue:queue_rows (List.rev !timings);
+  Printf.printf "\ntotal: %.1fs (-j %d; BENCH_1.json, BENCH_4.json written)\n"
+    total jobs

@@ -1,15 +1,41 @@
 (** A priority queue of timestamped events.
 
-    Binary min-heap keyed on (time, sequence number): events at the same
-    simulated time pop in insertion order, which keeps the whole simulation
-    deterministic. Events can be cancelled in O(1) (lazy deletion). *)
+    Two backends behind one exact-semantics interface, both keyed on
+    (time, sequence number) so events at the same simulated time pop in
+    insertion order and the whole simulation stays deterministic:
+
+    - [Wheel] (default): a 4-level x 256-slot hierarchical timing wheel
+      of simulated-ns buckets fronting an overflow binary heap. Near-
+      horizon events (the vast majority under the cost model's short
+      timer distribution) schedule and expire in O(1); events further
+      than 2^32 ns from the cursor — or scheduled in the past, which the
+      simulation driver forbids but the raw queue permits — overflow to
+      the heap.
+    - [Heap]: the classic binary min-heap, O(log n) per op. Kept as the
+      reference backend for differential tests and benchmarks.
+
+    Entry records live in a per-queue free-list pool, so steady-state
+    [add]/[cancel]/[drain_before] performs zero minor-heap allocation
+    (the pool only grows when the pending-event high-water mark does).
+    Handles are generation-stamped immediate ints: cancelling a handle
+    whose event already popped — even after its pooled entry has been
+    reused — is a checked no-op. *)
+
+type backend = Wheel | Heap
+
+val default_backend : backend ref
+(** Backend picked up by [create] when [?backend] is omitted. [Wheel]
+    unless a test or benchmark flips it. *)
 
 type 'a t
 
 type handle
-(** A token for a scheduled event, usable to cancel it. *)
+(** A token for a scheduled event, usable to cancel it. Immediate
+    (unboxed) and generation-checked: stale handles are harmless. *)
 
-val create : unit -> 'a t
+val create : ?backend:backend -> unit -> 'a t
+
+val backend : 'a t -> backend
 
 val is_empty : 'a t -> bool
 
@@ -17,11 +43,13 @@ val length : 'a t -> int
 (** Number of live (non-cancelled) events. *)
 
 val add : 'a t -> time:Time.t -> 'a -> handle
-(** Schedule an event at an absolute time. *)
+(** Schedule an event at an absolute time. Allocation-free once the
+    entry pool is warm. *)
 
-val cancel : handle -> unit
-(** Cancel a previously scheduled event. Cancelling twice, or cancelling an
-    already-popped event, is a no-op. *)
+val cancel : 'a t -> handle -> unit
+(** Cancel a previously scheduled event. Cancelling twice, or cancelling
+    an already-popped event, is a no-op (the handle's generation stamp
+    no longer matches the pooled entry's). *)
 
 val peek_time : 'a t -> Time.t option
 (** Time of the earliest live event. *)
@@ -32,11 +60,24 @@ val pop : 'a t -> (Time.t * 'a) option
 val pop_if_before : 'a t -> horizon:Time.t -> (Time.t * 'a) option
 (** Remove and return the earliest live event whose time is at or before
     [horizon]; [None] if the queue is empty or the earliest live event is
-    strictly later. One cancelled-entry drain serves both the check and
-    the pop, where a [peek_time]-then-[pop] pair drains twice. *)
+    strictly later. *)
 
 val drain_before : 'a t -> horizon:Time.t -> (Time.t -> 'a -> unit) -> unit
 (** [drain_before t ~horizon f] pops every live event at or before
     [horizon] in order and calls [f time value] on each, including events
     [f] itself adds at or before the horizon. Allocation-free per event —
     this is the simulation driver's hot loop. *)
+
+(** {2 Pool occupancy}
+
+    The same numbers are published as [Vessel_obs] metrics (gauge
+    [engine.queue.pool.entries], counter [engine.queue.pool.grown]) when
+    a metrics registry is live; growth events are probe-guarded so the
+    hot path never pays for them. *)
+
+val pool_allocated : 'a t -> int
+(** Entry records ever allocated for this queue (the pool high-water
+    mark, rounded up to the growth geometry). *)
+
+val pool_free : 'a t -> int
+(** Entry records currently sitting in the free list. *)

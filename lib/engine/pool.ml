@@ -1,5 +1,113 @@
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
+(* GC profile for simulation work: event dispatch allocates almost
+   nothing steady-state (the queue pools its entries), but workload and
+   stats setup does, and a large minor heap keeps those bursts from
+   punctuating the hot loops. Applied per domain — minor heaps are
+   per-domain in OCaml 5. *)
+let tune_gc () =
+  let g = Gc.get () in
+  let minor = 1 lsl 22 and overhead = 400 in
+  if g.Gc.minor_heap_size < minor || g.Gc.space_overhead < overhead then
+    Gc.set
+      {
+        g with
+        Gc.minor_heap_size = max g.Gc.minor_heap_size minor;
+        space_overhead = max g.Gc.space_overhead overhead;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* The persistent pool.
+
+   One process-wide set of worker domains, spawned lazily and grown on
+   demand (never shrunk), parked on [work_cv] between batches. A batch
+   is published by bumping [batch_seq] under [lock]; workers with rank
+   below the batch's [limit] pull job indices from the batch's shared
+   counter. The caller participates as a worker too, then blocks on
+   [done_cv] until the last job reports completion. *)
+
+type batch = {
+  run : int -> unit;
+  count : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  error : exn option Atomic.t;
+  limit : int; (* worker domains allowed to join (excludes the caller) *)
+}
+
+let lock = Mutex.create ()
+let work_cv = Condition.create ()
+let done_cv = Condition.create ()
+let current : batch option ref = ref None
+let batch_seq = ref 0
+let shutting_down = ref false
+let workers : unit Domain.t list ref = ref []
+let worker_count = ref 0
+
+(* Workers must never recursively wait on the pool: a [map] issued from
+   inside a job runs sequentially instead. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let run_jobs b =
+  let rec go () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.count then begin
+      (if Atomic.get b.error = None then
+         match b.run i with
+         | () -> ()
+         | exception e ->
+             ignore (Atomic.compare_and_set b.error None (Some e)));
+      let done_ = Atomic.fetch_and_add b.completed 1 + 1 in
+      if done_ = b.count then begin
+        Mutex.lock lock;
+        Condition.broadcast done_cv;
+        Mutex.unlock lock
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop rank =
+  Domain.DLS.set in_worker true;
+  tune_gc ();
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock lock;
+    while !batch_seq = !seen && not !shutting_down do
+      Condition.wait work_cv lock
+    done;
+    if !shutting_down then Mutex.unlock lock
+    else begin
+      seen := !batch_seq;
+      let b = !current in
+      Mutex.unlock lock;
+      (match b with Some b when rank < b.limit -> run_jobs b | _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* Called with [lock] held. *)
+let ensure_workers n =
+  while !worker_count < n do
+    let rank = !worker_count in
+    workers := Domain.spawn (fun () -> worker_loop rank) :: !workers;
+    incr worker_count
+  done
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock lock;
+      shutting_down := true;
+      Condition.broadcast work_cv;
+      Mutex.unlock lock;
+      List.iter Domain.join !workers)
+
+(* Serializes concurrent [map] calls from distinct non-worker domains;
+   the pool state above assumes one batch in flight. *)
+let map_lock = Mutex.create ()
+
 let map ?domains f jobs =
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
@@ -7,32 +115,41 @@ let map ?domains f jobs =
   match jobs with
   | [] -> []
   | [ job ] -> [ f job ]
-  | jobs when domains = 1 -> List.map f jobs
+  | jobs when domains = 1 || Domain.DLS.get in_worker -> List.map f jobs
   | jobs ->
       let input = Array.of_list jobs in
       let n = Array.length input in
-      let results = Array.make n None in
-      let next = Atomic.make 0 in
-      let error = Atomic.make None in
-      let worker () =
-        let rec go () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n && Atomic.get error = None then begin
-            (match f input.(i) with
-            | v -> results.(i) <- Some v
-            | exception e ->
-                ignore (Atomic.compare_and_set error None (Some e)));
-            go ()
-          end
-        in
-        go ()
-      in
-      (* The caller is one of the workers; spawn the rest. *)
-      let spawned =
-        List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
-      in
-      worker ();
-      List.iter Domain.join spawned;
-      (match Atomic.get error with Some e -> raise e | None -> ());
-      Array.to_list
-        (Array.map (function Some v -> v | None -> assert false) results)
+      (* Results land in an [Obj.t] slot array — no per-result [Some]
+         boxing, and no unsafe float-array specialization because the
+         array's static type is never ['b array]. Every slot is written
+         exactly once before [completed] reaches [n]. *)
+      let results = Array.make n (Obj.repr 0) in
+      Mutex.lock map_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock map_lock)
+        (fun () ->
+          let b =
+            {
+              run = (fun i -> results.(i) <- Obj.repr (f input.(i)));
+              count = n;
+              next = Atomic.make 0;
+              completed = Atomic.make 0;
+              error = Atomic.make None;
+              limit = min (domains - 1) (n - 1);
+            }
+          in
+          Mutex.lock lock;
+          ensure_workers b.limit;
+          current := Some b;
+          incr batch_seq;
+          Condition.broadcast work_cv;
+          Mutex.unlock lock;
+          run_jobs b;
+          Mutex.lock lock;
+          while Atomic.get b.completed < n do
+            Condition.wait done_cv lock
+          done;
+          current := None;
+          Mutex.unlock lock;
+          (match Atomic.get b.error with Some e -> raise e | None -> ());
+          Array.to_list (Array.map (fun r -> (Obj.obj r : 'b)) results))

@@ -1,6 +1,12 @@
-(** A fixed-size work pool over OCaml 5 domains.
+(** A persistent work pool over OCaml 5 domains.
 
-    [map] fans a list of independent jobs out across worker domains and
+    Worker domains are spawned once per process — on the first parallel
+    [map] — and then fed batches over a shared work queue, so a sweep
+    harness issuing hundreds of [map] calls pays the domain-spawn cost
+    (~ms each) exactly once. Workers park on a condition variable
+    between batches and are joined at process exit.
+
+    [map] fans a list of independent jobs out across the pool and
     returns the results in input order, regardless of completion order.
     Jobs must be self-contained: the simulator guarantees this by giving
     every sweep point its own [Sim.t]/[Machine.t] built from an explicit
@@ -8,6 +14,13 @@
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], clamped to at least 1. *)
+
+val tune_gc : unit -> unit
+(** Apply the simulator's GC profile to the calling domain: a 32 MB
+    minor heap and relaxed [space_overhead], so event-dispatch loops
+    are not punctuated by minor collections. Worker domains apply it on
+    spawn; entry points ([vessel-sim], the bench harness) call it for
+    the main domain. Never shrinks limits the user already raised. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~domains f jobs] applies [f] to every job and returns the
@@ -17,4 +30,6 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     to [List.map]. Workers pull job indices from a shared queue, so an
     expensive job does not hold up the rest of the list. The first
     exception any job raises is re-raised in the caller (remaining jobs
-    may be skipped). *)
+    may be skipped). Calls from inside a worker run sequentially rather
+    than deadlocking the pool; concurrent [map] calls from distinct
+    domains serialize. *)

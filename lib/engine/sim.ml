@@ -13,12 +13,12 @@ let global_executed = Atomic.make 0
 
 let total_events_executed () = Atomic.get global_executed
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?backend () =
   if !Vessel_obs.Probe.on then
     Vessel_obs.Probe.process ~name:(Printf.sprintf "sim seed=%d" seed);
   {
     clock = Time.zero;
-    queue = Event_queue.create ();
+    queue = Event_queue.create ?backend ();
     root_rng = Rng.create ~seed;
     executed = 0;
   }
@@ -37,7 +37,7 @@ let schedule_after t ~delay f =
   if delay < 0 then invalid_arg "Sim.schedule_after: negative delay";
   schedule t ~at:(t.clock + delay) f
 
-let cancel = Event_queue.cancel
+let cancel t h = Event_queue.cancel t.queue h
 
 let step t =
   match Event_queue.pop t.queue with

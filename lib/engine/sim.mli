@@ -8,9 +8,11 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?backend:Event_queue.backend -> unit -> t
 (** A fresh simulation at time 0. [seed] (default 42) seeds the root RNG
-    from which all component streams are split. *)
+    from which all component streams are split. [backend] (default
+    {!Event_queue.default_backend}) selects the event-queue engine;
+    both backends produce byte-identical simulations. *)
 
 val now : t -> Time.t
 
@@ -25,7 +27,9 @@ val schedule : t -> at:Time.t -> (t -> unit) -> Event_queue.handle
 val schedule_after : t -> delay:Time.t -> (t -> unit) -> Event_queue.handle
 (** Run a callback [delay] ns from now. *)
 
-val cancel : Event_queue.handle -> unit
+val cancel : t -> Event_queue.handle -> unit
+(** Cancel a previously scheduled event of this simulation. Stale
+    handles (already fired or cancelled) are a checked no-op. *)
 
 val run_until : t -> Time.t -> unit
 (** Execute events in order until the queue is empty or the next event is

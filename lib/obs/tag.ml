@@ -33,3 +33,5 @@ let iok_release = "iokernel.release"
 
 (* engine *)
 let sim_events = "engine.events"
+let eq_pool_entries = "engine.queue.pool.entries"
+let eq_pool_grown = "engine.queue.pool.grown"

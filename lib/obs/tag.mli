@@ -24,3 +24,5 @@ val iok_grant : string
 val iok_preempt : string
 val iok_release : string
 val sim_events : string
+val eq_pool_entries : string
+val eq_pool_grown : string

@@ -64,10 +64,10 @@ let tstate t th =
   | Some ts -> ts
   | None -> invalid_arg "Cfs: unknown thread"
 
-let cancel_timer cs =
+let cancel_timer t cs =
   match cs.timer with
   | Some h ->
-      Sim.cancel h;
+      Sim.cancel (Hw.Machine.sim t.machine) h;
       cs.timer <- None
   | None -> ()
 
@@ -115,7 +115,7 @@ let on_run t ~core th =
 
 let on_descheduled t ~core th =
   let cs = t.cores.(core) in
-  cancel_timer cs;
+  cancel_timer t cs;
   (match cs.current with
   | Some ts when ts.th == th ->
       let ran = now t - cs.started in
@@ -250,7 +250,7 @@ let start t = U.Exec.start_all (get_exec t)
 
 let stop t =
   for core = 0 to ncores t - 1 do
-    cancel_timer t.cores.(core);
+    cancel_timer t t.cores.(core);
     U.Exec.stop (get_exec t) ~core
   done
 

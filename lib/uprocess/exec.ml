@@ -259,7 +259,7 @@ and preempt t ~core ~overhead =
   | Idle _ -> notify t ~core
   | Switching s -> s.preempt_after <- true
   | Executing { th; action; started; effective; handle } ->
-      Sim.cancel handle;
+      Sim.cancel (sim t) handle;
       if !Probe.on then begin
         Probe.span_end ~ts:(now t) ~track:(core_track core);
         Probe.instant ~ts:(now t) ~track:(core_track core) ~name:Tag.preempt
@@ -340,11 +340,11 @@ let stop t ~core =
   | _ -> ());
   (match t.states.(core) with
   | Executing { th; action; started; effective; handle } ->
-      Sim.cancel handle;
+      Sim.cancel (sim t) handle;
       let executed = min effective (now t - started) in
       charge t ~core (action_category t th action) executed;
       Uthread.set_state th Uthread.Ready
-  | Switching { handle; _ } -> Sim.cancel handle
+  | Switching { handle; _ } -> Sim.cancel (sim t) handle
   | Idle { since } -> charge t ~core Stats.Cycle_account.Idle (now t - since)
   | Stopped -> ());
   (match t.states.(core) with

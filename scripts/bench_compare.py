@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_4.json run against a committed baseline snapshot.
+
+Warn-only: prints per-experiment events/sec and per-queue-point ns/op
+deltas, flags regressions beyond a tolerance, and ALWAYS exits 0 — CI
+machines are too noisy to gate on wall-clock throughput, but the trend
+belongs in every run's log.
+
+Usage: bench_compare.py BASELINE CURRENT [--tolerance PCT]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}")
+        return None
+
+
+def pct(new, old):
+    if old == 0:
+        return 0.0
+    return 100.0 * (new - old) / old
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=25.0,
+        help="warn when slower than baseline by more than this percent",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base is None or cur is None:
+        return 0  # warn-only: a missing file must not fail the build
+
+    warned = False
+
+    base_exp = {e["name"]: e for e in base.get("experiments", [])}
+    print(f"{'experiment':<12} {'base ev/s':>12} {'now ev/s':>12} {'delta':>8}")
+    for e in cur.get("experiments", []):
+        b = base_exp.get(e["name"])
+        if b is None or b.get("events_per_sec", 0) == 0:
+            print(f"{e['name']:<12} {'-':>12} {e['events_per_sec']:>12.0f}")
+            continue
+        d = pct(e["events_per_sec"], b["events_per_sec"])
+        flag = ""
+        if d < -args.tolerance:
+            flag = "  <-- slower than baseline"
+            warned = True
+        print(
+            f"{e['name']:<12} {b['events_per_sec']:>12.0f} "
+            f"{e['events_per_sec']:>12.0f} {d:>+7.1f}%{flag}"
+        )
+
+    base_q = {
+        (q["backend"], q["pending"]): q for q in base.get("queue", [])
+    }
+    rows = cur.get("queue", [])
+    if rows:
+        print()
+        print(f"{'queue point':<22} {'base ns/op':>11} {'now ns/op':>11} {'delta':>8}")
+    for q in rows:
+        key = (q["backend"], q["pending"])
+        name = f"{q['backend']} pending={q['pending']}"
+        b = base_q.get(key)
+        if b is None or b.get("ns_per_op", 0) == 0:
+            print(f"{name:<22} {'-':>11} {q['ns_per_op']:>11.1f}")
+            continue
+        d = pct(q["ns_per_op"], b["ns_per_op"])  # higher ns/op = slower
+        flag = ""
+        if d > args.tolerance:
+            flag = "  <-- slower than baseline"
+            warned = True
+        print(
+            f"{name:<22} {b['ns_per_op']:>11.1f} {q['ns_per_op']:>11.1f} "
+            f"{d:>+7.1f}%{flag}"
+        )
+
+    if warned:
+        print(
+            f"\nbench_compare: regressions beyond {args.tolerance:.0f}% "
+            "tolerance (warn-only, not failing the build)"
+        )
+    else:
+        print("\nbench_compare: within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

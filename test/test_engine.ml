@@ -192,7 +192,7 @@ let test_eq_cancel () =
   let _h1 = Event_queue.add q ~time:1 "keep1" in
   let h2 = Event_queue.add q ~time:2 "drop" in
   let _h3 = Event_queue.add q ~time:3 "keep2" in
-  Event_queue.cancel h2;
+  Event_queue.cancel q h2;
   check_int "live count" 2 (Event_queue.length q);
   let pop () = match Event_queue.pop q with Some (_, v) -> v | None -> "" in
   let x1 = pop () in
@@ -204,15 +204,15 @@ let test_eq_cancel () =
 let test_eq_cancel_idempotent () =
   let q = Event_queue.create () in
   let h = Event_queue.add q ~time:1 () in
-  Event_queue.cancel h;
-  Event_queue.cancel h;
+  Event_queue.cancel q h;
+  Event_queue.cancel q h;
   check_int "single decrement" 0 (Event_queue.length q)
 
 let test_eq_cancel_after_pop () =
   let q = Event_queue.create () in
   let h = Event_queue.add q ~time:1 () in
   ignore (Event_queue.pop q);
-  Event_queue.cancel h;
+  Event_queue.cancel q h;
   check_int "no underflow" 0 (Event_queue.length q)
 
 let test_eq_peek () =
@@ -260,7 +260,7 @@ let test_eq_pop_if_before_skips_cancelled () =
   let q = Event_queue.create () in
   let h = Event_queue.add q ~time:5 "dead" in
   ignore (Event_queue.add q ~time:30 "live");
-  Event_queue.cancel h;
+  Event_queue.cancel q h;
   Alcotest.(check (option (pair int string)))
     "cancelled head hides earlier time" None
     (Event_queue.pop_if_before q ~horizon:10);
@@ -295,20 +295,172 @@ let test_eq_drain_before_reentrant () =
   Alcotest.(check (list int)) "chained at horizon" [ 1; 2; 3 ] (List.rev !fired);
   check_bool "drained" true (Event_queue.is_empty q)
 
-(* Model-based test: random add/cancel/pop/pop_if_before sequences against
-   a sorted-association-list reference, exercising the lazy-deletion path
-   (cancelled entries linger in the heap until they surface). *)
+(* Entry records are pooled and recycled; a handle kept across its
+   entry's reuse must not be able to cancel the new tenant. *)
+let test_eq_stale_handle_recycled () =
+  let q = Event_queue.create () in
+  let h1 = Event_queue.add q ~time:1 "a" in
+  ignore (Event_queue.pop q);
+  (* The freed slot is recycled by the next add. *)
+  let _h2 = Event_queue.add q ~time:2 "b" in
+  Event_queue.cancel q h1;
+  check_int "stale cancel spares new tenant" 1 (Event_queue.length q);
+  Alcotest.(check (option (pair int string)))
+    "new tenant intact" (Some (2, "b")) (Event_queue.pop q);
+  (* Same for a cancelled-then-collected entry. *)
+  let h3 = Event_queue.add q ~time:3 "c" in
+  Event_queue.cancel q h3;
+  Alcotest.(check (option (pair int string))) "empty" None (Event_queue.pop q);
+  let _h4 = Event_queue.add q ~time:4 "d" in
+  Event_queue.cancel q h3;
+  check_int "doubly stale cancel" 1 (Event_queue.length q)
 
-type eq_op = Add of int | Cancel of int | Pop | Pop_before of int
+(* Events routed to every wheel level plus the overflow heap must still
+   pop in (time, insertion) order, including adds behind the cursor. *)
+let eq_backends = [ ("wheel", Event_queue.Wheel); ("heap", Event_queue.Heap) ]
+
+let test_eq_multi_level backend () =
+  let q = Event_queue.create ~backend () in
+  let far = (1 lsl 33) + 7 in
+  (* level 0 / 1 / 2 / 3 / overflow, interleaved. *)
+  let times = [ 20_000_000; 5; 100_000; far; 1_000; 6; far; 100_001 ] in
+  List.iteri (fun i time -> ignore (Event_queue.add q ~time (i, time))) times;
+  let popped = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (t, (i, t')) ->
+        check_int "payload time" t t';
+        popped := (t, i) :: !popped;
+        drain ()
+    | None -> ()
+  in
+  (* Pop two, then add behind the cursor: past adds go to the overflow
+     heap and must surface immediately. *)
+  (match Event_queue.pop q with
+  | Some (t, (i, _)) -> popped := (t, i) :: !popped
+  | None -> Alcotest.fail "unexpected empty");
+  ignore (Event_queue.add q ~time:0 (99, 0));
+  drain ();
+  Alcotest.(check (list (pair int int)))
+    "global (time, seq) order"
+    [ (5, 1); (0, 99); (6, 5); (1_000, 4); (100_000, 2); (100_001, 7);
+      (20_000_000, 0); (far, 3); (far, 6) ]
+    (List.rev !popped)
+
+(* Steady-state churn must not touch the minor heap: [add] hands out
+   immediate handles from the entry pool and [drain_before] recycles in
+   place. Budget is per *drain call* (one closure), not per event. *)
+let test_eq_zero_alloc () =
+  let q = Event_queue.create () in
+  let burst = 256 and rounds = 100 in
+  let fired = ref 0 in
+  let cb _time () = incr fired in
+  let churn () =
+    for r = 0 to rounds - 1 do
+      for i = 1 to burst do
+        ignore (Event_queue.add q ~time:((r * burst) + i) ())
+      done;
+      Event_queue.drain_before q ~horizon:((r + 1) * burst) cb
+    done
+  in
+  churn ();
+  (* Pool is now warm: steady churn may not grow it or allocate. *)
+  let allocated = Event_queue.pool_allocated q in
+  let w0 = Gc.minor_words () in
+  churn ();
+  let per_event =
+    (Gc.minor_words () -. w0) /. float_of_int (burst * rounds)
+  in
+  check_int "fired" (2 * burst * rounds) !fired;
+  check_int "pool did not grow" allocated (Event_queue.pool_allocated q);
+  check_bool
+    (Printf.sprintf "allocation-free steady state (%.3f words/event)"
+       per_event)
+    true (per_event < 0.5)
+
+(* Regression: a pop can jump the cursor across a block boundary, into
+   a region whose events are still parked in a covering higher-level
+   slot. A reentrant add then lands at a lower level, and the scan must
+   not return it ahead of the earlier parked event. Found by
+   differential fuzzing against the pre-wheel heap queue. *)
+let test_eq_covering_slot_drain backend () =
+  let q = Event_queue.create ~backend () in
+  ignore (Event_queue.add q ~time:0x1f8c5 0);
+  Alcotest.(check (option (pair int int)))
+    "warm-up pop" (Some (0x1f8c5, 0)) (Event_queue.pop q);
+  (* [b] briefly caches as the front, then [c] undercuts it: [b] is
+     demoted into a level-2 slot the cursor has not entered yet. *)
+  ignore (Event_queue.add q ~time:0x200c8 1);
+  ignore (Event_queue.add q ~time:0x200c2 2);
+  let popped = ref [] in
+  Event_queue.drain_before q ~horizon:0x20804 (fun t id ->
+      popped := (t, id) :: !popped;
+      (* Popping [c] moves the cursor into [b]'s covering slot; this
+         reentrant add lands at level 1 and must not overtake [b]. *)
+      if id = 2 then ignore (Event_queue.add q ~time:0x20523 3));
+  Alcotest.(check (list (pair int int)))
+    "drain order across the cursor jump"
+    [ (0x200c2, 2); (0x200c8, 1); (0x20523, 3) ]
+    (List.rev !popped)
+
+(* Regression: demoting the front-cache entry must put it at the HEAD
+   of its bucket — a same-time event added while it was cached has a
+   higher seq and already sits in that bucket. Found by differential
+   fuzzing against the pre-wheel heap queue. *)
+let test_eq_demoted_front_fifo backend () =
+  let q = Event_queue.create ~backend () in
+  let t = 0x19eae in
+  ignore (Event_queue.add q ~time:t 0);
+  (* same time, higher seq: goes to the bucket while 0 is the front *)
+  ignore (Event_queue.add q ~time:t 1);
+  (* earlier time: demotes 0 into the same bucket, behind 1 if naive *)
+  ignore (Event_queue.add q ~time:0x19408 2);
+  let popped = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (time, id) ->
+        popped := (time, id) :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair int int)))
+    "same-time FIFO survives front demotion"
+    [ (0x19408, 2); (t, 0); (t, 1) ]
+    (List.rev !popped)
+
+(* Model-based test: random add/cancel/pop/pop_if_before/drain_before
+   sequences against a sorted-association-list reference, exercising the
+   lazy-deletion path (cancelled entries linger until they surface) and,
+   for the wheel backend, cascades and the overflow heap. *)
+
+type eq_op =
+  | Add of int
+  | Cancel of int
+  | Pop
+  | Pop_before of int
+  | Drain_before of int
+
+(* Times at wheel-level scale: mostly near the cursor, some mid-range,
+   some past the 2^32 wheel horizon (overflow heap). *)
+let eq_time_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, int_bound 100);
+        (3, int_bound 1_000_000);
+        (1, map (fun t -> (1 lsl 32) + t) (int_bound 1_000));
+      ])
 
 let eq_op_gen =
   QCheck.Gen.(
     frequency
       [
-        (5, map (fun t -> Add t) (int_bound 100));
+        (5, map (fun t -> Add t) eq_time_gen);
         (3, map (fun i -> Cancel i) (int_bound 50));
         (3, return Pop);
-        (2, map (fun t -> Pop_before t) (int_bound 100));
+        (2, map (fun t -> Pop_before t) eq_time_gen);
+        (1, map (fun t -> Drain_before t) eq_time_gen);
       ])
 
 let eq_op_print = function
@@ -316,16 +468,18 @@ let eq_op_print = function
   | Cancel i -> Printf.sprintf "Cancel %d" i
   | Pop -> "Pop"
   | Pop_before t -> Printf.sprintf "Pop_before %d" t
+  | Drain_before t -> Printf.sprintf "Drain_before %d" t
 
 let eq_ops_arb =
   QCheck.make
     ~print:(fun ops -> String.concat "; " (List.map eq_op_print ops))
     QCheck.Gen.(list_size (int_bound 200) eq_op_gen)
 
-let prop_eq_model =
-  QCheck.Test.make ~name:"event_queue matches sorted-list model" ~count:300
-    eq_ops_arb (fun ops ->
-      let q = Event_queue.create () in
+let prop_eq_model (name, backend) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "event_queue (%s) matches sorted-list model" name)
+    ~count:300 eq_ops_arb (fun ops ->
+      let q = Event_queue.create ~backend () in
       (* The model: live entries as (time, id) kept in pop order; [handles]
          maps id -> real handle for cancel targeting. *)
       let model = ref [] and handles = ref [||] and next_id = ref 0 in
@@ -358,7 +512,7 @@ let prop_eq_model =
                 if Array.length !handles = 0 then true
                 else begin
                   let i = k mod Array.length !handles in
-                  Event_queue.cancel !handles.(i);
+                  Event_queue.cancel q !handles.(i);
                   (* Cancelling a popped or already-cancelled id is a
                      no-op in both the queue and the model. *)
                   model := List.filter (fun (_, j) -> j <> i) !model;
@@ -368,6 +522,16 @@ let prop_eq_model =
             | Pop_before h ->
                 Event_queue.pop_if_before q ~horizon:h
                 = model_pop ~horizon:h ()
+            | Drain_before h ->
+                let got = ref [] in
+                Event_queue.drain_before q ~horizon:h (fun t id ->
+                    got := (t, id) :: !got);
+                let rec expect acc =
+                  match model_pop ~horizon:h () with
+                  | Some e -> expect (e :: acc)
+                  | None -> List.rev acc
+                in
+                List.rev !got = expect []
           in
           ok && Event_queue.length q = List.length !model)
         ops)
@@ -419,7 +583,7 @@ let test_sim_cancel () =
   let sim = Sim.create () in
   let fired = ref false in
   let h = Sim.schedule sim ~at:10 (fun _ -> fired := true) in
-  Sim.cancel h;
+  Sim.cancel sim h;
   Sim.run_until sim 100;
   check_bool "cancelled" false !fired
 
@@ -492,9 +656,29 @@ let suite =
         Alcotest.test_case "drain_before" `Quick test_eq_drain_before;
         Alcotest.test_case "drain_before reentrant" `Quick
           test_eq_drain_before_reentrant;
+        Alcotest.test_case "stale handle after recycling" `Quick
+          test_eq_stale_handle_recycled;
+        Alcotest.test_case "multi-level order (wheel)" `Quick
+          (test_eq_multi_level Event_queue.Wheel);
+        Alcotest.test_case "multi-level order (heap)" `Quick
+          (test_eq_multi_level Event_queue.Heap);
+        Alcotest.test_case "zero-alloc steady state" `Quick
+          test_eq_zero_alloc;
+        Alcotest.test_case "covering-slot drain on cursor jump (wheel)"
+          `Quick
+          (test_eq_covering_slot_drain Event_queue.Wheel);
+        Alcotest.test_case "covering-slot drain on cursor jump (heap)"
+          `Quick
+          (test_eq_covering_slot_drain Event_queue.Heap);
+        Alcotest.test_case "demoted front keeps FIFO (wheel)" `Quick
+          (test_eq_demoted_front_fifo Event_queue.Wheel);
+        Alcotest.test_case "demoted front keeps FIFO (heap)" `Quick
+          (test_eq_demoted_front_fifo Event_queue.Heap);
         QCheck_alcotest.to_alcotest prop_eq_sorted;
-        QCheck_alcotest.to_alcotest prop_eq_model;
-      ] );
+      ]
+      @ List.map
+          (fun b -> QCheck_alcotest.to_alcotest (prop_eq_model b))
+          eq_backends );
     ( "engine.sim",
       [
         Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
