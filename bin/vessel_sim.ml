@@ -7,7 +7,7 @@
 open Cmdliner
 open Vessel_experiments
 
-let version = "1.1.0"
+let version = "1.2.0"
 
 let seed =
   let doc = "Root RNG seed; every run is deterministic given the seed." in
@@ -88,6 +88,58 @@ let run_fig13a seed cores =
 
 let run_fig13b seed = Exp_fig13.print_accuracy (Exp_fig13.run_accuracy ~seed ())
 
+(* --- check: fault-injection sweep with runtime invariant checking --- *)
+
+let check_seeds =
+  let doc = "Number of consecutive seeds to sweep, starting at --seed." in
+  Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc)
+
+let check_profile =
+  let doc =
+    "Fault profile: $(b,none), $(b,delivery), $(b,timing), $(b,chaos) or \
+     $(b,all)."
+  in
+  let profile_conv =
+    Arg.enum
+      (("all", Vessel_check.Fault.all)
+      :: List.map
+           (fun p -> (Vessel_check.Fault.to_string p, [ p ]))
+           Vessel_check.Fault.all)
+  in
+  Arg.(
+    value
+    & opt profile_conv Vessel_check.Fault.all
+    & info [ "profile" ] ~docv:"P" ~doc)
+
+let check_scenario =
+  let doc =
+    "Scenario: $(b,fig1) (Caladan colocation), $(b,fig9) (VESSEL \
+     colocation), $(b,gate) (call-gate crossings) or $(b,all)."
+  in
+  let scenario_conv =
+    Arg.enum
+      (("all", Vessel_check.Harness.all_scenarios)
+      :: List.map
+           (fun s -> (Vessel_check.Harness.scenario_name s, [ s ]))
+           Vessel_check.Harness.all_scenarios)
+  in
+  Arg.(
+    value
+    & opt scenario_conv Vessel_check.Harness.all_scenarios
+    & info [ "scenario" ] ~docv:"S" ~doc)
+
+(* Violations exit 1, but only after the trailing trace/metrics writes so
+   a violating run still produces its repro artifacts. *)
+let check_failed = ref false
+
+let run_check seed nseeds profiles scenarios =
+  let seeds = List.init nseeds (fun i -> seed + i) in
+  let bad =
+    Vessel_check.Harness.print_report
+      (Vessel_check.Harness.run_sweep ~seeds ~profiles ~scenarios ())
+  in
+  if bad > 0 then check_failed := true
+
 let run_ablation seed cores =
   Exp_ablation.print_switch_cost (Exp_ablation.run_switch_cost ~seed ~cores ());
   Exp_ablation.print_policy (Exp_ablation.run_policy ~seed ~cores ())
@@ -132,6 +184,10 @@ let command_table =
      Term.(with_common run_fig13b $ seed));
     ("ablation", "Ablations: switch-cost sweep, mechanism vs policy",
      Term.(with_common run_ablation $ seed $ cores));
+    ("check", "Fault-injection sweep with runtime invariant checking",
+     Term.(
+       with_common run_check $ seed $ check_seeds $ check_profile
+       $ check_scenario));
     ("burst", "Burst absorption under us-scale load spikes",
      Term.(
        with_common (fun seed cores ->
@@ -170,7 +226,12 @@ let () =
         "Reproduce the evaluation of 'Fast Core Scheduling with Userspace \
          Process Abstraction' (SOSP '24)"
   in
-  let code = Cmd.eval (Cmd.group info cmds) in
+  let code =
+    match Cmd.eval (Cmd.group info cmds) with
+    (* Unknown experiments and bad flags exit 2, not cmdliner's 124. *)
+    | 124 -> 2
+    | c -> c
+  in
   if code = 0 then begin
     Option.iter
       (fun f -> write_file f Vessel_obs.Collector.write_trace)
@@ -179,4 +240,4 @@ let () =
       (fun f -> write_file f Vessel_obs.Collector.write_metrics)
       !metrics_out
   end;
-  exit code
+  exit (if code = 0 && !check_failed then 1 else code)

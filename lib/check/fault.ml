@@ -1,0 +1,103 @@
+module Rng = Vessel_engine.Rng
+module Hw = Vessel_hw
+module Inject = Hw.Inject
+
+type profile = None_ | Delivery | Timing | Chaos
+
+let all = [ None_; Delivery; Timing; Chaos ]
+
+let to_string = function
+  | None_ -> "none"
+  | Delivery -> "delivery"
+  | Timing -> "timing"
+  | Chaos -> "chaos"
+
+let of_string = function
+  | "none" -> Some None_
+  | "delivery" -> Some Delivery
+  | "timing" -> Some Timing
+  | "chaos" -> Some Chaos
+  | _ -> None
+
+(* Every hook gets its own split stream, so the number of draws one fault
+   class makes never perturbs another class's schedule: profiles compose
+   and each remains independently seeded. All magnitudes are bounded well
+   below the checker's wakeup bound — faults are delays and retries, never
+   permanent losses, so a correct scheduler must still satisfy every
+   invariant under [Chaos]. *)
+let install profile ~rng machine =
+  let inj = Hw.Machine.inject machine in
+  Inject.reset inj;
+  match profile with
+  | None_ -> ()
+  | Delivery | Timing | Chaos ->
+      let chaos = profile = Chaos in
+      let delivery = profile = Delivery || chaos in
+      let timing = profile = Timing || chaos in
+      inj.Inject.enabled <- true;
+      if delivery then begin
+        let r = Rng.split rng in
+        let p_delay = if chaos then 0.35 else 0.25 in
+        let p_drop = if chaos then 0.10 else 0.05 in
+        let max_delay = if chaos then 5_000 else 2_000 in
+        let max_retry = if chaos then 8_000 else 5_000 in
+        inj.Inject.uintr_plan <-
+          (fun () ->
+            let u = Rng.float r in
+            if u < p_delay then begin
+              Inject.note inj;
+              Inject.Delay (50 + Rng.int r max_delay)
+            end
+            else if u < p_delay +. p_drop then begin
+              Inject.note inj;
+              Inject.Drop_retry (1_000 + Rng.int r max_retry)
+            end
+            else Inject.Deliver);
+        let r_ipi = Rng.split rng in
+        let p_ipi = if chaos then 0.30 else 0.20 in
+        let max_ipi = if chaos then 4_000 else 2_000 in
+        inj.Inject.ipi_extra <-
+          (fun () ->
+            if Rng.float r_ipi < p_ipi then begin
+              Inject.note inj;
+              100 + Rng.int r_ipi max_ipi
+            end
+            else 0);
+        let r_dup = Rng.split rng in
+        let p_dup = if chaos then 0.05 else 0.02 in
+        inj.Inject.ipi_spurious <-
+          (fun () ->
+            if Rng.float r_dup < p_dup then begin
+              Inject.note inj;
+              500 + Rng.int r_dup 2_000
+            end
+            else 0)
+      end;
+      if timing then begin
+        let r_pkru = Rng.split rng in
+        inj.Inject.wrpkru_extra <-
+          (fun () ->
+            if Rng.float r_pkru < 0.25 then begin
+              Inject.note inj;
+              10 + Rng.int r_pkru 140
+            end
+            else 0);
+        let r_wake = Rng.split rng in
+        inj.Inject.umwait_extra <-
+          (fun () ->
+            if Rng.float r_wake < 0.30 then begin
+              Inject.note inj;
+              50 + Rng.int r_wake 450
+            end
+            else 0);
+        let r_stall = Rng.split rng in
+        let p_stall = if chaos then 0.02 else 0.01 in
+        let max_stall = if chaos then 9_500 else 4_500 in
+        inj.Inject.core_stall <-
+          (fun () ->
+            if Rng.float r_stall < p_stall then begin
+              Inject.note inj;
+              500 + Rng.int r_stall max_stall
+            end
+            else 0)
+      end

@@ -1,0 +1,25 @@
+(** Fault profiles: named, seeded configurations of the
+    {!Vessel_hw.Inject} hooks.
+
+    - [None_] — hooks disabled; the machine behaves exactly as without
+      the injection layer.
+    - [Delivery] — delayed / reordered / dropped-then-retried Uintr
+      notifications, delayed IPIs, spurious duplicate IPI deliveries.
+    - [Timing] — jittered WRPKRU and UMWAIT-wake costs, transient core
+      stalls.
+    - [Chaos] — both classes at higher rates and magnitudes.
+
+    Faults are bounded delays and retries, never permanent losses, so a
+    correct scheduler must satisfy every runtime invariant under any
+    profile. All draws come from streams split off the given [rng]: a
+    run's entire fault schedule replays from its seed. *)
+
+type profile = None_ | Delivery | Timing | Chaos
+
+val all : profile list
+val to_string : profile -> string
+val of_string : string -> profile option
+
+val install : profile -> rng:Vessel_engine.Rng.t -> Vessel_hw.Machine.t -> unit
+(** Reset the machine's hooks and arm them per [profile]. Fired faults
+    are counted in {!Vessel_hw.Inject.injected}. *)

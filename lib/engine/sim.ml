@@ -2,6 +2,7 @@ type t = {
   mutable clock : Time.t;
   queue : (t -> unit) Event_queue.t;
   root_rng : Rng.t;
+  seed : int;
   mutable executed : int;
 }
 
@@ -20,11 +21,13 @@ let create ?(seed = 42) ?backend () =
     clock = Time.zero;
     queue = Event_queue.create ?backend ();
     root_rng = Rng.create ~seed;
+    seed;
     executed = 0;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
+let seed t = t.seed
 let events_executed t = t.executed
 
 let schedule t ~at f =

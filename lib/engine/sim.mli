@@ -20,6 +20,10 @@ val rng : t -> Rng.t
 (** The root RNG. Components should [Rng.split] this at setup time rather
     than drawing from it during the run. *)
 
+val seed : t -> int
+(** The seed this simulation was created with — everything needed to
+    replay it (fault-injection verdicts print it for one-command repro). *)
+
 val schedule : t -> at:Time.t -> (t -> unit) -> Event_queue.handle
 (** Run a callback at absolute time [at]. Scheduling in the past raises
     [Invalid_argument]. *)

@@ -1,0 +1,51 @@
+(* Deterministic fault injection (FoundationDB-style simulation testing).
+
+   One [Inject.t] per machine, all hooks disabled by default. A fault
+   profile (lib/check) installs closures over split [Rng.t] streams, so
+   every injected fault replays bit-for-bit from the run's seed. The hot
+   paths test [enabled] with a single load-and-branch and draw nothing
+   when it is off, so a machine without faults is byte-identical to one
+   built before this module existed. *)
+
+type uintr_plan =
+  | Deliver  (* normal synchronous notification *)
+  | Delay of int  (* notification held in flight for [ns] *)
+  | Drop_retry of int  (* notification lost; PIR re-examined after [ns] *)
+
+type t = {
+  mutable enabled : bool;
+  mutable uintr_plan : unit -> uintr_plan;
+  mutable ipi_extra : unit -> int;  (* extra IPI flight time, ns *)
+  mutable ipi_spurious : unit -> int;
+      (* 0 = none; else a duplicate delivery lands this many ns after the
+         real one *)
+  mutable wrpkru_extra : unit -> int;  (* per-WRPKRU jitter, ns *)
+  mutable umwait_extra : unit -> int;  (* extra UMWAIT wake latency, ns *)
+  mutable core_stall : unit -> int;  (* transient core stall at a switch *)
+  mutable injected : int;  (* faults that actually fired (profile-counted) *)
+}
+
+let create () =
+  {
+    enabled = false;
+    uintr_plan = (fun () -> Deliver);
+    ipi_extra = (fun () -> 0);
+    ipi_spurious = (fun () -> 0);
+    wrpkru_extra = (fun () -> 0);
+    umwait_extra = (fun () -> 0);
+    core_stall = (fun () -> 0);
+    injected = 0;
+  }
+
+let reset t =
+  t.enabled <- false;
+  t.uintr_plan <- (fun () -> Deliver);
+  t.ipi_extra <- (fun () -> 0);
+  t.ipi_spurious <- (fun () -> 0);
+  t.wrpkru_extra <- (fun () -> 0);
+  t.umwait_extra <- (fun () -> 0);
+  t.core_stall <- (fun () -> 0);
+  t.injected <- 0
+
+let note t = t.injected <- t.injected + 1
+let injected t = t.injected

@@ -1,0 +1,49 @@
+(** Deterministic fault-injection hooks.
+
+    Every {!Machine.t} owns one [Inject.t], disabled by default. A fault
+    profile installs draw-closures over seeded {!Vessel_engine.Rng}
+    streams; the hardware models consult the hooks at well-defined points:
+
+    - {!Machine} — the Uintr notify path ([uintr_plan]: delay, or drop
+      the notification and re-examine the posted bit later; delays of
+      different magnitude reorder independent notifications),
+    - {!Ipi} — extra flight time and spurious duplicate deliveries,
+    - the executor — WRPKRU jitter on context switches, UMWAIT wake
+      jitter, and transient core stalls folded into switch overhead,
+    - the call gate — WRPKRU jitter on gate crossings.
+
+    When [enabled] is false no hook is called and no random number is
+    drawn, so fault-free runs are byte-identical to a machine without
+    the layer. *)
+
+type uintr_plan =
+  | Deliver
+  | Delay of int
+      (** Hold the notification in flight for [ns]; delivery re-checks
+          that the receiver still has a posted bit and is running. *)
+  | Drop_retry of int
+      (** Lose the notification. The posted PIR bit survives and is
+          re-examined after [ns] (hardware redelivery), or sooner by the
+          next privileged entry of the victim core. *)
+
+type t = {
+  mutable enabled : bool;
+  mutable uintr_plan : unit -> uintr_plan;
+  mutable ipi_extra : unit -> int;
+  mutable ipi_spurious : unit -> int;
+  mutable wrpkru_extra : unit -> int;
+  mutable umwait_extra : unit -> int;
+  mutable core_stall : unit -> int;
+  mutable injected : int;
+}
+
+val create : unit -> t
+(** All hooks inert, [enabled = false]. *)
+
+val reset : t -> unit
+
+val note : t -> unit
+(** Count one fired fault (called by the installing profile's closures). *)
+
+val injected : t -> int
+(** Faults that actually fired so far — deterministic given the seed. *)

@@ -8,7 +8,10 @@
 
 type t
 
-val create : Vessel_engine.Sim.t -> Cost_model.t -> t
+val create : ?inject:Inject.t -> Vessel_engine.Sim.t -> Cost_model.t -> t
+(** [inject] (armed by a fault profile) adds extra flight time and
+    spurious duplicate deliveries; absent or disabled, behaviour is
+    exactly the base cost model. *)
 
 val send :
   t -> to_core:int -> on_deliver:(Vessel_engine.Sim.t -> unit) -> unit

@@ -10,6 +10,7 @@ type t = {
   cache : Cache.t;
   uintr : Uintr.t;
   ipi : Ipi.t;
+  inject : Inject.t;
   mutable dispatch : (Uintr.receiver -> unit) list;
 }
 
@@ -19,6 +20,43 @@ let create ?(cost = Cost_model.default) ?membw ?cache ~cores:n sim =
   let cores = Array.init n (fun id -> Core.create ~id ~rng:(Rng.split root)) in
   let membw = match membw with Some m -> m | None -> Membw.create () in
   let cache = match cache with Some c -> c | None -> Cache.create () in
+  let inject = Inject.create () in
+  (* The real delivery: probe, then hand the receiver to every installed
+     dispatch routine. Delayed/retried injected notifications re-enter
+     here once the receiver has been re-validated. *)
+  let deliver t r =
+    if !Probe.on then
+      Probe.instant ~ts:(Sim.now sim)
+        ~track:(Vessel_obs.Track.Uproc (Uintr.receiver_id r))
+        ~name:Vessel_obs.Tag.uintr_notify ();
+    if !Probe.metrics_on then Probe.incr "hw.uintr.notify";
+    List.iter (fun f -> f r) t.dispatch
+  in
+  let faulted_notify t r =
+    match inject.Inject.uintr_plan () with
+    | Inject.Deliver -> deliver t r
+    | Inject.Delay d ->
+        if !Probe.on then
+          Probe.instant ~ts:(Sim.now sim)
+            ~track:(Vessel_obs.Track.Uproc (Uintr.receiver_id r))
+            ~name:Vessel_obs.Tag.inject_uintr_delay ();
+        if !Probe.metrics_on then Probe.incr "inject.uintr.delay";
+        ignore
+          (Sim.schedule_after sim ~delay:d (fun _ ->
+               if Uintr.deliverable r then deliver t r))
+    | Inject.Drop_retry d ->
+        (* The notification is lost, but the posted bit survives: model
+           redelivery re-examining the PIR after [d]. A privileged entry
+           of the victim core in the meantime drains it first. *)
+        if !Probe.on then
+          Probe.instant ~ts:(Sim.now sim)
+            ~track:(Vessel_obs.Track.Uproc (Uintr.receiver_id r))
+            ~name:Vessel_obs.Tag.inject_uintr_drop ();
+        if !Probe.metrics_on then Probe.incr "inject.uintr.drop";
+        ignore
+          (Sim.schedule_after sim ~delay:d (fun _ ->
+               if Uintr.deliverable r then deliver t r))
+  in
   let rec t =
     lazy
       {
@@ -29,13 +67,11 @@ let create ?(cost = Cost_model.default) ?membw ?cache ~cores:n sim =
         cache;
         uintr =
           Uintr.create ~notify:(fun r ->
-              if !Probe.on then
-                Probe.instant ~ts:(Sim.now sim)
-                  ~track:(Vessel_obs.Track.Uproc (Uintr.receiver_id r))
-                  ~name:Vessel_obs.Tag.uintr_notify ();
-              if !Probe.metrics_on then Probe.incr "hw.uintr.notify";
-              List.iter (fun f -> f r) (Lazy.force t).dispatch);
-        ipi = Ipi.create sim cost;
+              let t = Lazy.force t in
+              if inject.Inject.enabled then faulted_notify t r
+              else deliver t r);
+        ipi = Ipi.create ~inject sim cost;
+        inject;
         dispatch = [];
       }
   in
@@ -50,6 +86,7 @@ let membw t = t.membw
 let cache t = t.cache
 let uintr t = t.uintr
 let ipi t = t.ipi
+let inject t = t.inject
 let now t = Sim.now t.sim
 
 let set_uintr_dispatch t f = t.dispatch <- f :: t.dispatch

@@ -25,6 +25,12 @@ val membw : t -> Membw.t
 val cache : t -> Cache.t
 val uintr : t -> Uintr.t
 val ipi : t -> Ipi.t
+
+val inject : t -> Inject.t
+(** The machine's fault-injection hooks (disabled unless a fault profile
+    armed them). The Uintr notify path and the IPI fabric consult them
+    here; the executor and call gate fetch them through this accessor. *)
+
 val now : t -> Vessel_engine.Time.t
 
 val set_uintr_dispatch : t -> (Uintr.receiver -> unit) -> unit

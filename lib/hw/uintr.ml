@@ -67,6 +67,12 @@ let set_suppressed t r suppressed =
   r.suppressed <- suppressed;
   if was && (not suppressed) && r.running && r.pir <> 0L then t.notify r
 
+(* Would a notification reach this receiver right now? Used by delayed /
+   retried deliveries to re-validate before dispatching: the victim may
+   have parked (clearing PIR at privileged entry) or been suppressed
+   while the notification was in flight. *)
+let deliverable r = r.running && (not r.suppressed) && r.pir <> 0L
+
 let take_pending r =
   let pir = r.pir in
   r.pir <- 0L;

@@ -53,6 +53,11 @@ val set_suppressed : t -> receiver -> bool -> unit
 (** The SN bit: when set, senduipi posts but never notifies. Clearing it
     with a non-empty PIR notifies if running. *)
 
+val deliverable : receiver -> bool
+(** The receiver would accept a notification right now: running, not
+    suppressed, and with a non-empty PIR. Delayed or retried deliveries
+    (fault injection) re-validate with this before dispatching. *)
+
 val take_pending : receiver -> vector list
 (** Atomically read-and-clear the PIR, lowest vector first. The embedder
     calls this from its delivery event and runs the handler for each

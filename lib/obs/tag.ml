@@ -9,7 +9,24 @@ let uintr_notify = "uintr.notify"
 (* uprocess runtime (the Figure-6 stages) *)
 let uintr_send = "uintr.send"
 let uintr_handle = "uintr.handle"
+let uintr_ack = "uintr.ack"
 let dispatch = "dispatch"
+
+(* task queues (invariant checking: FIFO order, starvation) *)
+let queue_push = "queue.push"
+let queue_push_front = "queue.push_front"
+let queue_pop = "queue.pop"
+let queue_remove = "queue.remove"
+
+(* call gate crossings (PKRU consistency) *)
+let gate_enter = "gate.enter"
+let gate_leave = "gate.leave"
+
+(* fault injection *)
+let inject_uintr_delay = "inject.uintr.delay"
+let inject_uintr_drop = "inject.uintr.drop"
+let inject_ipi_spurious = "inject.ipi.spurious"
+let inject_stall = "inject.stall"
 
 (* executor *)
 let preempt = "preempt"

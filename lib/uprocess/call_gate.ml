@@ -10,6 +10,8 @@ type t = {
   check_pkru : bool;
   runtime_pkru : Hw.Pkru.t;
   stack_base : Mem.Addr.t;
+  inject : Hw.Inject.t option;
+  clock : unit -> int; (* probe timestamps; the gate has no clock itself *)
   mutable next_token : int;
   token_addrs : (int, Mem.Addr.t) Hashtbl.t; (* core -> live token word *)
 }
@@ -22,7 +24,8 @@ let stack_stride = 64 * 1024
 
 let runtime_stack_addr t ~core = t.stack_base + (core * stack_stride)
 
-let create ?(switch_stack = true) ?(check_pkru = true) ~smas ~pipe ~cost () =
+let create ?(switch_stack = true) ?(check_pkru = true) ?inject
+    ?(clock = fun () -> 0) ~smas ~pipe ~cost () =
   let rt = Mem.Layout.runtime_data (Mem.Smas.layout smas) in
   let stack_base = rt.Mem.Region.base + stack_stride in
   let t =
@@ -34,6 +37,8 @@ let create ?(switch_stack = true) ?(check_pkru = true) ~smas ~pipe ~cost () =
       check_pkru;
       runtime_pkru = Mem.Smas.pkru_runtime smas;
       stack_base;
+      inject;
+      clock;
       next_token = 0x5EED;
       token_addrs = Hashtbl.create 8;
     }
@@ -54,11 +59,34 @@ let read_token t ~addr =
   | Ok b -> Ok (Int64.to_int (Bytes.get_int64_le b 0))
   | Error (_, f) -> Error f
 
+(* Each WRPKRU the gate executes may be jittered by the fault profile —
+   gate crossings under timing chaos are exactly where stale-PKRU bugs
+   would hide. *)
+let wrpkru_jitter t =
+  match t.inject with
+  | Some inj when inj.Hw.Inject.enabled -> inj.Hw.Inject.wrpkru_extra ()
+  | _ -> 0
+
+(* A crossing instant for the invariant checker: the PKRU actually live
+   on the core against the image the crossing was supposed to install. *)
+let crossing_probe t ~core name ~expected =
+  if !Vessel_obs.Probe.on then
+    Vessel_obs.Probe.instant ~ts:(t.clock ())
+      ~track:(Vessel_obs.Track.Core (Hw.Core.id core))
+      ~name
+      ~args:
+        [
+          ("pkru", Vessel_obs.Event.Int (Hw.Pkru.to_int (Hw.Core.pkru core)));
+          ("expected", Vessel_obs.Event.Int (Hw.Pkru.to_int expected));
+        ]
+      ()
+
 let enter t ~core ~fn_index ~user_stack =
   let cost = t.cost in
   (* Stage 1: WRPKRU to the runtime image. *)
   Hw.Core.set_pkru core t.runtime_pkru;
-  let ns = ref cost.Cost_model.wrpkru in
+  let ns = ref (cost.Cost_model.wrpkru + wrpkru_jitter t) in
+  crossing_probe t ~core Vessel_obs.Tag.gate_enter ~expected:t.runtime_pkru;
   (* Stage 2: switch to the privileged stack and resolve the function via
      the static vector (never the PLT). *)
   ns := !ns + cost.Cost_model.gate_stack_switch + cost.Cost_model.gate_dispatch;
@@ -115,7 +143,7 @@ let leave t ~core session =
       let ns =
         ref
           (cost.Cost_model.gate_stack_switch + cost.Cost_model.wrpkru
-         + cost.Cost_model.rdpkru)
+          + wrpkru_jitter t + cost.Cost_model.rdpkru)
       in
       (* Stage 4: RDPKRU re-check (trivially consistent on the honest
          path; the hijack attack exercises the loop). *)
@@ -126,6 +154,7 @@ let leave t ~core session =
           ns := !ns + cost.Cost_model.wrpkru + cost.Cost_model.rdpkru
         end
       end;
+      crossing_probe t ~core Vessel_obs.Tag.gate_leave ~expected:task_pkru;
       if !Vessel_obs.Probe.metrics_on then begin
         Vessel_obs.Probe.incr "uproc.gate.leave";
         Vessel_obs.Probe.observe "uproc.gate.leave_ns" !ns

@@ -39,13 +39,18 @@ type session = {
 val create :
   ?switch_stack:bool ->
   ?check_pkru:bool ->
+  ?inject:Vessel_hw.Inject.t ->
+  ?clock:(unit -> int) ->
   smas:Vessel_mem.Smas.t ->
   pipe:Message_pipe.t ->
   cost:Vessel_hw.Cost_model.t ->
   unit ->
   t
 (** [switch_stack] (default true) and [check_pkru] (default true) exist
-    only to demonstrate the attacks that each mechanism defeats. *)
+    only to demonstrate the attacks that each mechanism defeats.
+    [inject] jitters the gate's WRPKRUs under a fault profile; [clock]
+    (default [fun () -> 0]) timestamps the gate-crossing probe instants
+    the invariant checker consumes. *)
 
 val enter :
   t -> core:Vessel_hw.Core.t -> fn_index:int -> user_stack:Vessel_mem.Addr.t ->

@@ -125,10 +125,31 @@ let action_completion = function
       on_complete
   | Uthread.Park | Uthread.Exit -> None
 
+(* A transient core stall (SMI-style, fault injection): unavailable time
+   folded into the switch overhead so it is charged — conservation must
+   hold even under chaos. *)
+let injected_stall t ~core =
+  let inj = Hw.Machine.inject t.machine in
+  if not inj.Hw.Inject.enabled then 0
+  else begin
+    let s = inj.Hw.Inject.core_stall () in
+    if s > 0 then begin
+      Hw.Core.note_stall (hw_core t core) s;
+      if !Probe.on then
+        Probe.instant ~ts:(now t) ~track:(core_track core)
+          ~name:Tag.inject_stall
+          ~args:[ ("ns", Vessel_obs.Event.Int s) ]
+          ();
+      if !Probe.metrics_on then Probe.incr "inject.stall"
+    end;
+    s
+  end
+
 let rec free_core t ~core ~kind ~extra =
   let next = t.hooks.pick_next ~core in
   let overhead =
-    extra + t.hooks.switch_overhead ~core:(hw_core t core) ~kind ~next
+    extra + injected_stall t ~core
+    + t.hooks.switch_overhead ~core:(hw_core t core) ~kind ~next
   in
   if overhead <= 0 then land_switch t ~core ~next
   else begin
@@ -311,7 +332,12 @@ and notify t ~core =
       if !Probe.on then Probe.span_end ~ts:(now t) ~track:(core_track core);
       charge t ~core Stats.Cycle_account.Idle (now t - since);
       Hw.Umwait.wake (Hw.Core.umwait (hw_core t core)) ~at:(now t);
-      free_core t ~core ~kind:Idle_wake ~extra:c.Hw.Cost_model.umwait_wake
+      let wake =
+        let inj = Hw.Machine.inject t.machine in
+        c.Hw.Cost_model.umwait_wake
+        + (if inj.Hw.Inject.enabled then inj.Hw.Inject.umwait_extra () else 0)
+      in
+      free_core t ~core ~kind:Idle_wake ~extra:wake
   | Stopped | Switching _ | Executing _ -> ()
 
 let start t ~core =

@@ -94,8 +94,17 @@ let apply_command t ~core = function
   | Signal.Fault { slot; reason = _ } -> mark_killed t slot
 
 let process_commands t ~core =
-  (* Entering privileged mode acknowledges any posted user interrupt. *)
-  ignore (Hw.Uintr.take_pending t.receivers.(core));
+  (* Entering privileged mode acknowledges any posted user interrupt. The
+     ack instant is what lets the checker match a send whose notification
+     was deferred (or injected away) but whose posted bit was drained
+     here. *)
+  (match Hw.Uintr.take_pending t.receivers.(core) with
+  | [] -> ()
+  | _ :: _ ->
+      if !Probe.on then
+        Probe.instant ~ts:(now t)
+          ~track:(Vessel_obs.Track.Core core)
+          ~name:Tag.uintr_ack ());
   match Signal.drain t.signals ~core with
   | [] -> false
   | cmds ->
@@ -122,6 +131,14 @@ let pick_next t ~core =
 
 (* --- executor hooks --- *)
 
+(* A VESSEL switch executes two WRPKRUs (park out of the old image, load
+   the new); under a timing fault profile each is jittered. *)
+let wrpkru_jitter t =
+  let inj = Hw.Machine.inject t.machine in
+  if inj.Hw.Inject.enabled then
+    inj.Hw.Inject.wrpkru_extra () + inj.Hw.Inject.wrpkru_extra ()
+  else 0
+
 let switch_overhead t ~core ~kind ~next =
   ignore next;
   let c = Hw.Machine.cost t.machine in
@@ -129,7 +146,10 @@ let switch_overhead t ~core ~kind ~next =
   | Exec.Initial | Exec.Idle_wake ->
       c.Cost_model.context_restore + c.Cost_model.queue_op
   | Exec.Park_switch | Exec.Exit_switch ->
-      let ns = Hw.Machine.jitter t.machine core (Cost_model.vessel_park_switch c) in
+      let ns =
+        Hw.Machine.jitter t.machine core (Cost_model.vessel_park_switch c)
+        + wrpkru_jitter t
+      in
       Stats.Histogram.record t.park_hist ns;
       ns
   | Exec.Preempt_switch ->
@@ -139,7 +159,7 @@ let switch_overhead t ~core ~kind ~next =
         Cost_model.vessel_park_switch c
         + c.Cost_model.uintr_handler_entry + c.Cost_model.uiret
       in
-      Hw.Machine.jitter t.machine core base
+      Hw.Machine.jitter t.machine core base + wrpkru_jitter t
 
 let on_run t ~core th =
   (* Figure 6, step 3: publish the mapping and flip the core's PKRU to the
@@ -159,6 +179,7 @@ let on_run t ~core th =
         [
           ("tid", Vessel_obs.Event.Int (Uthread.tid th));
           ("uproc", Vessel_obs.Event.Int (Uthread.uproc th));
+          ("pkru", Vessel_obs.Event.Int (Hw.Pkru.to_int pkru));
         ]
       ();
   if !Probe.metrics_on then Probe.incr "uproc.dispatches";
@@ -203,7 +224,10 @@ let create ~machine ~smas () =
   let n = Hw.Machine.ncores machine in
   let pipe = Message_pipe.create smas ~ncores:n in
   let gate =
-    Call_gate.create ~smas ~pipe ~cost:(Hw.Machine.cost machine) ()
+    Call_gate.create
+      ~inject:(Hw.Machine.inject machine)
+      ~clock:(fun () -> Hw.Machine.now machine)
+      ~smas ~pipe ~cost:(Hw.Machine.cost machine) ()
   in
   let fabric = Hw.Machine.uintr machine in
   let receivers =
@@ -221,8 +245,10 @@ let create ~machine ~smas () =
       signals = Signal.create ~ncores:n;
       syscalls = Syscall.create ();
       exec = None;
-      core_queues = Array.init n (fun _ -> Task_queue.create ());
-      be_queue = Task_queue.create ();
+      (* Deterministic probe ids: core index for the per-core queues, the
+         core count for the global best-effort queue. *)
+      core_queues = Array.init n (fun i -> Task_queue.create ~id:i ());
+      be_queue = Task_queue.create ~id:n ();
       uprocs = Hashtbl.create 8;
       threads = Hashtbl.create 64;
       receivers;
@@ -288,6 +314,26 @@ let unregister_uprocess t ~slot =
         invalid_arg "Runtime.unregister_uprocess: threads still live";
       Hashtbl.remove t.uprocs slot
 
+(* Push scheduling commands to a core and kick it with a user interrupt.
+   Every send path goes through here so the probe stream sees each one:
+   the checker matches sends against handles/acks for the no-lost-wakeup
+   invariant. *)
+let preempt_core t ~core commands =
+  if !Probe.on then
+    Probe.instant ~ts:(now t)
+      ~track:(Vessel_obs.Track.Core core)
+      ~name:Tag.uintr_send
+      ~args:[ ("commands", Vessel_obs.Event.Int (List.length commands)) ]
+      ();
+  if !Probe.metrics_on then Probe.incr "uproc.uintr.sends";
+  List.iter (Signal.push t.signals ~core) commands;
+  match Hw.Uintr.senduipi (Hw.Machine.uintr t.machine) t.uitt ~index:core with
+  | `Notified -> ()
+  | `Deferred ->
+      (* Victim is not in user mode: idle cores pick the commands up via
+         notify; switching cores drain them at the next privileged entry. *)
+      if Exec.is_idle (get_exec t) ~core then Exec.notify (get_exec t) ~core
+
 let kill_uprocess t ~slot =
   mark_killed t slot;
   (* Uintr every core currently running one of its threads so the kill is
@@ -295,12 +341,11 @@ let kill_uprocess t ~slot =
   for core = 0 to ncores t - 1 do
     match Exec.current (get_exec t) ~core with
     | Some th when Uthread.uproc th = slot ->
-        Signal.push t.signals ~core (Signal.Kill_uprocess slot);
-        ignore (Hw.Uintr.senduipi (Hw.Machine.uintr t.machine) t.uitt ~index:core)
+        preempt_core t ~core [ Signal.Kill_uprocess slot ]
     | _ -> ()
   done
 
-let rec kill_thread t ~tid =
+let kill_thread t ~tid =
   match thread t ~tid with
   | None -> ()
   | Some th -> (
@@ -311,14 +356,7 @@ let rec kill_thread t ~tid =
           (* Queued threads are reaped lazily by pick_next. *)
           ()
       | Uthread.Running core ->
-          preempt_core_fwd t ~core [ Signal.Kill_thread tid ])
-
-and preempt_core_fwd t ~core commands =
-  List.iter (Signal.push t.signals ~core) commands;
-  match Hw.Uintr.senduipi (Hw.Machine.uintr t.machine) t.uitt ~index:core with
-  | `Notified -> ()
-  | `Deferred ->
-      if Exec.is_idle (get_exec t) ~core then Exec.notify (get_exec t) ~core
+          preempt_core t ~core [ Signal.Kill_thread tid ])
 
 let raise_fault t ~slot ~reason =
   (* Section 4.3: no Uintr — the fault is queued and handled when each
@@ -382,22 +420,6 @@ let assign_be t th =
   wake 0
 
 let steal_queued t ~core = pop_live t t.core_queues.(core)
-
-let preempt_core t ~core commands =
-  if !Probe.on then
-    Probe.instant ~ts:(now t)
-      ~track:(Vessel_obs.Track.Core core)
-      ~name:Tag.uintr_send
-      ~args:[ ("commands", Vessel_obs.Event.Int (List.length commands)) ]
-      ();
-  if !Probe.metrics_on then Probe.incr "uproc.uintr.sends";
-  List.iter (Signal.push t.signals ~core) commands;
-  match Hw.Uintr.senduipi (Hw.Machine.uintr t.machine) t.uitt ~index:core with
-  | `Notified -> ()
-  | `Deferred ->
-      (* Victim is not in user mode: idle cores pick the commands up via
-         notify; switching cores drain them at the next privileged entry. *)
-      if is_idle t ~core then Exec.notify (get_exec t) ~core
 
 let set_idle_callback t f = t.idle_callback <- Some f
 let switch_latencies t = t.park_hist

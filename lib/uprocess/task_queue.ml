@@ -8,9 +8,33 @@ type t = {
   q : entry Queue.t;
   mutable front : entry list; (* prepended entries, newest first *)
   present : (int, entry) Hashtbl.t; (* tid -> live entry *)
+  id : int; (* >= 0: queue operations are probe-visible under this id *)
 }
 
-let create () = { q = Queue.create (); front = []; present = Hashtbl.create 16 }
+let create ?(id = -1) () =
+  { q = Queue.create (); front = []; present = Hashtbl.create 16; id }
+
+(* Queue-op instants feed the runtime invariant checker (FIFO order per
+   queue, LC starvation). Only queues given an explicit deterministic id
+   emit them, so ad-hoc queues cost nothing and traces stay identical at
+   any -j. Pop/remove events carry the entry's enqueue time as their
+   timestamp (the queue has no clock of its own); consumers order by
+   arrival, not ts. *)
+let probe t name e =
+  if t.id >= 0 && !Vessel_obs.Probe.on then
+    Vessel_obs.Probe.instant ~ts:e.at ~track:Vessel_obs.Track.Sched ~name
+      ~args:
+        [
+          ("q", Vessel_obs.Event.Int t.id);
+          ("tid", Vessel_obs.Event.Int (Uthread.tid e.thread));
+          ( "lc",
+            Vessel_obs.Event.Int
+              (match Uthread.priority e.thread with
+              | Uthread.Latency_critical -> 1
+              | Uthread.Best_effort -> 0) );
+          ("at", Vessel_obs.Event.Int e.at);
+        ]
+      ()
 
 let add_present t th e =
   let tid = Uthread.tid th in
@@ -21,12 +45,14 @@ let add_present t th e =
 let push t th ~now =
   let e = { thread = th; at = now; dead = false } in
   add_present t th e;
-  Queue.push e t.q
+  Queue.push e t.q;
+  probe t Vessel_obs.Tag.queue_push e
 
 let push_front t th ~now =
   let e = { thread = th; at = now; dead = false } in
   add_present t th e;
-  t.front <- e :: t.front
+  t.front <- e :: t.front;
+  probe t Vessel_obs.Tag.queue_push_front e
 
 (* Discard lazily-removed entries at the head of both stores. *)
 let rec settle t =
@@ -55,6 +81,7 @@ let pop t =
   | None -> None
   | Some e ->
       Hashtbl.remove t.present (Uthread.tid e.thread);
+      probe t Vessel_obs.Tag.queue_pop e;
       Some (e.thread, e.at)
 
 let peek t =
@@ -73,6 +100,7 @@ let remove t th =
   | Some e ->
       e.dead <- true;
       Hashtbl.remove t.present (Uthread.tid th);
+      probe t Vessel_obs.Tag.queue_remove e;
       true
   | None -> false
 

@@ -9,7 +9,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?id:int -> unit -> t
+(** [id] (default: none) makes every push/pop/remove emit a probe instant
+    tagged with this queue id — the invariant checker's view of queue
+    discipline. Ids must be derived from program structure (core index,
+    ...) so probed runs stay deterministic at any [-j]. *)
 
 val push : t -> Uthread.t -> now:Vessel_engine.Time.t -> unit
 (** Append. Raises if the thread is already in this queue. *)

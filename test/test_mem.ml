@@ -450,6 +450,35 @@ let test_loader_text_exhaustion () =
   | Error Loader.No_text_space -> ()
   | _ -> Alcotest.fail "expected text exhaustion"
 
+let test_loader_inspect_roundtrip () =
+  (* The W^X story end to end: text that Inspect certified clean is what
+     actually lands in SMAS — re-scanning the loaded bytes through the
+     privileged window finds the same nothing, and a library's staged
+     bytes match its image exactly. *)
+  let s = mk_smas 1 in
+  let r = rng () in
+  let ld = Loader.create s ~slot:0 ~aslr:false r in
+  let lib = Image.library ~name:"libok.so" ~text_size:4_096 r in
+  let img = Image.make ~name:"app" ~text_size:8_192 r in
+  match Loader.load_program ld ~libraries:[ lib ] img with
+  | Error e -> Alcotest.failf "load failed: %a" Loader.pp_error e
+  | Ok loaded ->
+      let text =
+        Smas.priv_read s ~addr:loaded.Loader.text_base ~len:8_192
+      in
+      Alcotest.(check (list int)) "loaded app text scans clean" []
+        (Inspect.scan text);
+      Alcotest.(check string) "app text bytes round-trip"
+        (Bytes.to_string img.Image.text)
+        (Bytes.to_string text);
+      (match loaded.Loader.libraries with
+      | [ (_, lib_base) ] ->
+          let lib_text = Smas.priv_read s ~addr:lib_base ~len:4_096 in
+          Alcotest.(check string) "library text bytes round-trip"
+            (Bytes.to_string lib.Image.text)
+            (Bytes.to_string lib_text)
+      | _ -> Alcotest.fail "expected exactly one loaded library")
+
 let suite =
   [
     ("mem.addr", [ Alcotest.test_case "alignment" `Quick test_addr_align ]);
@@ -516,5 +545,7 @@ let suite =
           test_loader_dlopen_wx_discipline;
         Alcotest.test_case "heap above image" `Quick test_loader_heap_above_image;
         Alcotest.test_case "text exhaustion" `Quick test_loader_text_exhaustion;
+        Alcotest.test_case "loader/inspect round-trip" `Quick
+          test_loader_inspect_roundtrip;
       ] );
   ]

@@ -497,6 +497,47 @@ let test_vessel_backlog_probe () =
     true
     (p99_with * 2 < p99_without)
 
+(* ------------------------------------------------------------------ *)
+(* Vessel negative paths: every invalid_arg branch in the public API. *)
+
+let expect_invalid_arg name f =
+  check_bool name true (try f (); false with Invalid_argument _ -> true)
+
+let test_vessel_empty_core_set () =
+  let sim = Sim.create ~seed:21 () in
+  let machine = Hw.Machine.create ~cores:2 sim in
+  expect_invalid_arg "empty core set rejected" (fun () ->
+      ignore (S.Vessel.make ~cores:[] ~machine ()))
+
+let test_vessel_unknown_app () =
+  let _, _, _, sys = mk_vessel () in
+  expect_invalid_arg "add_worker on unknown app" (fun () ->
+      ignore
+        (sys.S.Sched_intf.add_worker ~app_id:99 ~name:"w"
+           ~step:(fun ~now:_ -> U.Uthread.Park)));
+  expect_invalid_arg "notify_app on unknown app" (fun () ->
+      sys.S.Sched_intf.notify_app ~app_id:99)
+
+let test_vessel_duplicate_app () =
+  let _, _, _, sys = mk_vessel () in
+  let spec =
+    { S.Sched_intf.id = 1; name = "a"; class_ = S.Sched_intf.Latency_critical }
+  in
+  sys.S.Sched_intf.add_app spec;
+  expect_invalid_arg "duplicate app id rejected" (fun () ->
+      sys.S.Sched_intf.add_app { spec with name = "b" })
+
+let test_vessel_slots_exhausted () =
+  let sim = Sim.create ~seed:21 () in
+  let machine = Hw.Machine.create ~cores:2 sim in
+  let v = S.Vessel.make ~slots:1 ~machine () in
+  let sys = S.Vessel.system v in
+  sys.S.Sched_intf.add_app
+    { S.Sched_intf.id = 1; name = "a"; class_ = S.Sched_intf.Latency_critical };
+  expect_invalid_arg "no SMAS slot left for a second uProcess" (fun () ->
+      sys.S.Sched_intf.add_app
+        { S.Sched_intf.id = 2; name = "b"; class_ = S.Sched_intf.Best_effort })
+
 let suite =
   [
     ( "sched.vessel",
@@ -508,6 +549,12 @@ let suite =
           test_vessel_switch_latencies_table1;
         Alcotest.test_case "dataplane backlog probe (5.2.5)" `Quick
           test_vessel_backlog_probe;
+        Alcotest.test_case "empty core set rejected" `Quick
+          test_vessel_empty_core_set;
+        Alcotest.test_case "unknown app rejected" `Quick test_vessel_unknown_app;
+        Alcotest.test_case "duplicate app rejected" `Quick
+          test_vessel_duplicate_app;
+        Alcotest.test_case "slots exhausted" `Quick test_vessel_slots_exhausted;
       ] );
     ( "sched.caladan",
       [

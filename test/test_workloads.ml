@@ -258,6 +258,66 @@ let test_pingpong_handoffs () =
     true
     (handoffs () > 1_000)
 
+(* ------------------------------------------------------------------ *)
+(* Deterministic replay: the property every fault-injection verdict and
+   repro command rests on. Same seed => identical simulation, so each
+   workload's observable counters must match exactly across runs. *)
+
+let replay_twice f =
+  let a = f () and b = f () in
+  (a, b)
+
+let test_silo_replay_deterministic () =
+  let run () =
+    let sim, _, sys = mk_vessel ~cores:2 ~seed:31 () in
+    let gen = W.Silo.make ~sim ~sys ~app_id:1 ~workers:2 () in
+    sys.S.Sched_intf.start ();
+    W.Openloop.start gen ~rate_rps:20_000. ~until:20_000_000;
+    Sim.run_until sim 25_000_000;
+    sys.S.Sched_intf.stop ();
+    ( W.Openloop.offered gen,
+      W.Openloop.served gen,
+      Stats.Histogram.percentile (W.Openloop.latencies gen) 99. )
+  in
+  let (o1, s1, p1), (o2, s2, p2) = replay_twice run in
+  check_int "offered replays" o1 o2;
+  check_int "served replays" s1 s2;
+  check_int "p99 replays" p1 p2;
+  check_bool "run did work" true (s1 > 100)
+
+let test_linpack_replay_deterministic () =
+  let run () =
+    let sim, _, sys = mk_vessel ~cores:2 ~seed:32 () in
+    let lp = W.Linpack.make ~sys ~app_id:1 ~workers:2 () in
+    sys.S.Sched_intf.start ();
+    Sim.run_until sim 5_000_000;
+    sys.S.Sched_intf.stop ();
+    W.Linpack.completed_ns lp
+  in
+  let a, b = replay_twice run in
+  check_int "completed_ns replays" a b;
+  check_bool "run did work" true (a > 0)
+
+let test_objcopy_replay_deterministic () =
+  let run () =
+    let sim, machine, sys = mk_vessel ~cores:1 ~seed:33 () in
+    let oc =
+      W.Objcopy.make ~sys ~app_id:1 ~name:"copyA" ~region:(0, 512 * 1024)
+        ~park_every:0 ()
+    in
+    sys.S.Sched_intf.start ();
+    Sim.run_until sim 1_000_000;
+    sys.S.Sched_intf.stop ();
+    ( W.Objcopy.copied_objects oc,
+      W.Objcopy.completion_time_ns oc,
+      Hw.Cache.accesses (Hw.Machine.cache machine) )
+  in
+  let (n1, t1, c1), (n2, t2, c2) = replay_twice run in
+  check_int "objects replay" n1 n2;
+  check_int "busy time replays" t1 t2;
+  check_int "cache accesses replay" c1 c2;
+  check_bool "run did work" true (n1 > 0)
+
 let suite =
   [
     ( "workloads.distributions",
@@ -287,5 +347,14 @@ let suite =
         Alcotest.test_case "dataplane kind safety" `Quick
           test_dataplane_wrong_kind;
         Alcotest.test_case "pingpong handoffs" `Quick test_pingpong_handoffs;
+      ] );
+    ( "workloads.replay",
+      [
+        Alcotest.test_case "silo deterministic" `Quick
+          test_silo_replay_deterministic;
+        Alcotest.test_case "linpack deterministic" `Quick
+          test_linpack_replay_deterministic;
+        Alcotest.test_case "objcopy deterministic" `Quick
+          test_objcopy_replay_deterministic;
       ] );
   ]
