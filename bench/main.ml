@@ -334,6 +334,51 @@ let write_bench_json ~path ~jobs ~total_seconds timings =
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 
+(* BENCH_5.json: the gate record. Same per-experiment and queue rows as
+   BENCH_4 plus the aggregate suite throughput (total events over total
+   experiment seconds) — the number the CI perf gate compares — and the
+   flags needed to interpret it ([quick] runs skip the two long
+   experiments, so their aggregate is only comparable to another quick
+   run). Schema documented in EXPERIMENTS.md. *)
+let write_bench5_json ~path ~jobs ~seed ~quick ~total_seconds ~queue timings =
+  let oc = open_out path in
+  let rate t = if t.seconds > 0. then float_of_int t.events /. t.seconds else 0. in
+  let suite_events = List.fold_left (fun a t -> a + t.events) 0 timings in
+  let suite_seconds = List.fold_left (fun a t -> a +. t.seconds) 0. timings in
+  let suite_rate =
+    if suite_seconds > 0. then float_of_int suite_events /. suite_seconds
+    else 0.
+  in
+  Printf.fprintf oc "{\n  \"schema\": \"vessel-bench-5\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"seed\": %d,\n" seed;
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n" total_seconds;
+  Printf.fprintf oc
+    "  \"suite\": { \"events\": %d, \"seconds\": %.3f, \
+     \"events_per_sec\": %.0f },\n"
+    suite_events suite_seconds suite_rate;
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i t ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"seconds\": %.3f, \"events\": %d, \
+         \"events_per_sec\": %.0f }%s\n"
+        t.name t.seconds t.events (rate t)
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Printf.fprintf oc "  ],\n  \"queue\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"backend\": %S, \"pending\": %d, \"ns_per_op\": %.2f, \
+         \"events_per_sec\": %.0f }%s\n"
+        r.qr_backend r.qr_pending r.qr_ns_per_op r.qr_events_per_sec
+        (if i = List.length queue - 1 then "" else ","))
+    queue;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
 (* BENCH_4.json: the vessel-bench-1 record plus the run's seed and the
    event-queue churn rows, so the perf trajectory tracks both the whole
    suite and the queue in isolation. *)
@@ -369,14 +414,23 @@ let write_bench4_json ~path ~jobs ~seed ~total_seconds ~queue timings =
 
 let experiment_ids = List.map fst (experiments ~seed:42)
 
+(* The CI subset: every experiment except the two long-running ones
+   (fig9, fig12 — ~118s of the ~142s suite), plus the queue micro. A
+   quick run finishes in well under a minute and still covers both
+   schedulers, every workload type and the queue in isolation. *)
+let quick_ids =
+  List.filter (fun id -> id <> "fig9" && id <> "fig12") experiment_ids
+  @ [ "queue" ]
+
 let usage () =
   Printf.eprintf
-    "usage: main.exe [-j N] [--seed N] [EXPERIMENT...]\nvalid ids: %s\n"
+    "usage: main.exe [-j N] [--seed N] [--quick] [EXPERIMENT...]\nvalid ids: %s\n"
     (String.concat " " (experiment_ids @ [ "micro"; "queue"; "obs" ]))
 
 let parse_args () =
   let jobs = ref (Vessel_engine.Pool.default_domains ()) in
   let seed = ref 42 in
+  let quick = ref false in
   let wanted = ref [] in
   let int_flag flag r n rest go =
     match int_of_string_opt n with
@@ -392,6 +446,9 @@ let parse_args () =
     | [] -> ()
     | "-j" :: n :: rest -> int_flag "-j" jobs n rest go
     | "--seed" :: n :: rest -> int_flag "--seed" seed n rest go
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
     | [ ("-j" | "--seed") ] ->
         Printf.eprintf "error: flag expects an argument\n";
         usage ();
@@ -401,10 +458,11 @@ let parse_args () =
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!jobs, !seed, List.rev !wanted)
+  (!jobs, !seed, !quick, List.rev !wanted)
 
 let () =
-  let jobs, seed, wanted = parse_args () in
+  let jobs, seed, quick, wanted = parse_args () in
+  let wanted = if quick && wanted = [] then quick_ids else wanted in
   let valid = experiment_ids @ [ "micro"; "queue"; "obs" ] in
   let unknown = List.filter (fun w -> not (List.mem w valid)) wanted in
   if unknown <> [] then begin
@@ -425,8 +483,21 @@ let () =
         let t = Unix.gettimeofday () in
         let ev0 = Vessel_engine.Sim.total_events_executed () in
         f ();
-        let seconds = Unix.gettimeofday () -. t in
+        let seconds = ref (Unix.gettimeofday () -. t) in
         let events = Vessel_engine.Sim.total_events_executed () - ev0 in
+        (* Gate runs take the min of three timings: the quick subset is
+           all sub-10s experiments, where a single wall-clock sample on
+           a shared CI runner can swing far past any real regression.
+           Experiments are deterministic, so the reruns execute the
+           same events; only the timing tightens. *)
+        if quick then
+          for _ = 2 to 3 do
+            let t = Unix.gettimeofday () in
+            f ();
+            let d = Unix.gettimeofday () -. t in
+            if d < !seconds then seconds := d
+          done;
+        let seconds = !seconds in
         timings := { name; seconds; events } :: !timings;
         Printf.printf "[%s: %.1fs, %.1fM events]\n%!" name seconds
           (float_of_int events /. 1e6)
@@ -442,5 +513,9 @@ let () =
     (List.rev !timings);
   write_bench4_json ~path:"BENCH_4.json" ~jobs ~seed ~total_seconds:total
     ~queue:queue_rows (List.rev !timings);
-  Printf.printf "\ntotal: %.1fs (-j %d; BENCH_1.json, BENCH_4.json written)\n"
+  write_bench5_json ~path:"BENCH_5.json" ~jobs ~seed ~quick
+    ~total_seconds:total ~queue:queue_rows (List.rev !timings);
+  Printf.printf
+    "\ntotal: %.1fs (-j %d; BENCH_1.json, BENCH_4.json, BENCH_5.json \
+     written)\n"
     total jobs

@@ -8,16 +8,35 @@ type backend = Wheel | Heap
 let default_backend = ref Wheel
 
 (* One pooled entry. [next] threads the entry through either a wheel
-   bucket or the free list; [gen] bumps every time the entry returns to
-   the free list, invalidating any handle still pointing at it. *)
+   bucket or the free list; the generation half of [ga] bumps every time
+   the entry returns to the free list, invalidating any handle still
+   pointing at it.
+
+   An entry carries either a boxed ['a] payload ([add]: [tagp = -1],
+   the [value] field) or an int-tagged payload ([add_tagged]: [tagp]
+   holds [(tag, a, b)] packed into one non-negative word). The tagged
+   add never touches [value], so it pays no write barrier and pins no
+   closure. To make room for [tagp] without growing the record — slab
+   cache footprint measurably dominates everything else here — the old
+   [gen]/[active] pair is packed into [ga] ([gen lsl 1 lor active]),
+   keeping the entry at its original seven words. *)
 type 'a entry = {
   mutable time : int;
   mutable seq : int;
   mutable value : 'a;
-  mutable gen : int;
-  mutable active : bool;
+  mutable ga : int; (* generation lsl 1 lor active *)
   mutable next : int; (* slab index; -1 = nil *)
+  mutable tagp : int; (* -1 = boxed [value]; >= 0 = packed (tag, a, b) *)
 }
+
+(* Packed tagged payload: [b lsl 24 lor a lsl 8 lor tag]. The field
+   widths (8-bit tag, 16-bit [a], 38-bit [b]) keep the word a valid
+   non-negative OCaml immediate; [add_tagged] validates the ranges. *)
+let tag_bits = 8
+let a_bits = 16
+let max_tag = (1 lsl tag_bits) - 1
+let max_a = (1 lsl a_bits) - 1
+let max_b = (1 lsl 38) - 1
 
 type handle = int
 
@@ -111,9 +130,9 @@ let grow t =
             time = 0;
             seq = 0;
             value = Obj.magic 0;
-            gen = 0;
-            active = false;
+            ga = 0;
             next = (if i + 1 < ncap then i + 1 else -1);
+            tagp = -1;
           })
   in
   t.slab <- slab;
@@ -130,8 +149,8 @@ let grow t =
    by the pool (peak-pending) size, and those values were live moments
    ago anyway. *)
 let free_entry t i e =
-  e.active <- false;
-  e.gen <- e.gen + 1;
+  (* Clear the active bit and bump the generation in one store. *)
+  e.ga <- (e.ga lor 1) + 1;
   e.next <- t.free;
   t.free <- i
 
@@ -252,7 +271,7 @@ let rec heap_clean t =
   if t.heap_size > 0 then begin
     let i = aget t.heap 0 in
     let e = aget t.slab i in
-    if not e.active then begin
+    if e.ga land 1 = 0 then begin
       heap_remove_root t;
       free_entry t i e;
       heap_clean t
@@ -306,7 +325,7 @@ let cascade t lvl slot =
   while !i >= 0 do
     let e = aget t.slab !i in
     let nxt = e.next in
-    if e.active then append t (lvl - 1) (e.time lsr shift land 255) !i
+    if e.ga land 1 <> 0 then append t (lvl - 1) (e.time lsr shift land 255) !i
     else free_entry t !i e;
     i := nxt
   done
@@ -322,7 +341,7 @@ let rec bucket_head t s =
   end
   else begin
     let e = aget t.slab h in
-    if e.active then h
+    if e.ga land 1 <> 0 then h
     else begin
       aset t.heads s e.next;
       free_entry t h e;
@@ -437,16 +456,12 @@ let consume t i e =
 (* ------------------------------------------------------------------ *)
 (* Public operations *)
 
-let add t ~time value =
-  if t.free = -1 then grow t;
-  let i = t.free in
-  let e = aget t.slab i in
-  t.free <- e.next;
-  e.time <- time;
+(* Shared tail of [add]/[add_tagged]: stamp the seq, route the entry
+   into a structure, hand back the generation-checked handle. *)
+let[@inline] finish_add t i e time =
   e.seq <- t.next_seq;
   t.next_seq <- t.next_seq + 1;
-  e.value <- value;
-  e.active <- true;
+  e.ga <- e.ga lor 1;
   (match t.backend with
   | Heap -> heap_push t i
   | Wheel ->
@@ -461,14 +476,42 @@ let add t ~time value =
       end
       else place t i);
   t.live <- t.live + 1;
-  (i lsl 31) lor (e.gen land 0x7FFF_FFFF)
+  (i lsl 31) lor ((e.ga lsr 1) land 0x7FFF_FFFF)
+
+let add t ~time value =
+  if t.free = -1 then grow t;
+  let i = t.free in
+  let e = aget t.slab i in
+  t.free <- e.next;
+  e.time <- time;
+  e.value <- value;
+  e.tagp <- -1;
+  finish_add t i e time
+
+let add_tagged t ~time ~tag ~a ~b =
+  if tag < 0 || tag > max_tag then
+    invalid_arg "Event_queue.add_tagged: tag out of range";
+  if a < 0 || a > max_a then
+    invalid_arg "Event_queue.add_tagged: a out of range (16 bits)";
+  if b < 0 || b > max_b then
+    invalid_arg "Event_queue.add_tagged: b out of range (38 bits)";
+  if t.free = -1 then grow t;
+  let i = t.free in
+  let e = aget t.slab i in
+  t.free <- e.next;
+  e.time <- time;
+  (* [value] is left alone (whatever the slot last held): the tagged
+     add is plain-int stores only, no write barrier. *)
+  e.tagp <- (b lsl (tag_bits + a_bits)) lor (a lsl tag_bits) lor tag;
+  finish_add t i e time
 
 let cancel t h =
   let i = h lsr 31 in
   if i < Array.length t.slab then begin
     let e = t.slab.(i) in
-    if e.active && e.gen land 0x7FFF_FFFF = h land 0x7FFF_FFFF then begin
-      e.active <- false;
+    if e.ga land 1 <> 0 && (e.ga lsr 1) land 0x7FFF_FFFF = h land 0x7FFF_FFFF
+    then begin
+      e.ga <- e.ga land lnot 1;
       t.live <- t.live - 1;
       if i = t.front then begin
         (* Not in any structure, so nothing can lazily collect it. *)
@@ -543,3 +586,66 @@ let drain_before t ~horizon f =
     end
   in
   go ()
+
+(* Batched drain: events are consumed one at a time off the structures
+   (so cancels aimed into the current batch still hit their target via
+   the [active] flag), but [start] fires only when the timestamp
+   changes. Reentrant adds at the batch time carry higher seqs than
+   everything already pending at that time, so they join the tail of
+   the current batch — callback order is exactly [drain_before]'s. *)
+let drain_batch t ~horizon ~start ~handlers f =
+  let total = ref 0 in
+  let[@inline] dispatch i e =
+    consume t i e;
+    incr total;
+    let time = e.time and v = e.value and p = e.tagp in
+    free_entry t i e;
+    if p >= 0 then
+      (Array.get handlers (p land max_tag))
+        ((p lsr tag_bits) land max_a)
+        (p lsr (tag_bits + a_bits))
+    else f time v
+  in
+  let rec run bt =
+    let i = global_min t in
+    if i >= 0 then begin
+      let e = aget t.slab i in
+      if e.time = bt then begin
+        dispatch i e;
+        run bt
+      end
+      else if e.time <= horizon then begin
+        let bt = e.time in
+        start bt;
+        dispatch i e;
+        run bt
+      end
+    end
+  in
+  let i = global_min t in
+  (if i >= 0 then begin
+     let e = aget t.slab i in
+     if e.time <= horizon then begin
+       let bt = e.time in
+       start bt;
+       dispatch i e;
+       run bt
+     end
+   end);
+  !total
+
+let pop_event t ~tagged ~closure =
+  let i = global_min t in
+  if i < 0 then false
+  else begin
+    let e = aget t.slab i in
+    let time = e.time and v = e.value and p = e.tagp in
+    consume t i e;
+    free_entry t i e;
+    if p >= 0 then
+      tagged time (p land max_tag)
+        ((p lsr tag_bits) land max_a)
+        (p lsr (tag_bits + a_bits))
+    else closure time v;
+    true
+  end

@@ -46,6 +46,32 @@ val add : 'a t -> time:Time.t -> 'a -> handle
 (** Schedule an event at an absolute time. Allocation-free once the
     entry pool is warm. *)
 
+val max_tag : int
+(** Largest valid dispatch tag (the packed payload gives tags 8 bits). *)
+
+val max_a : int
+(** Largest valid [a] argument of {!add_tagged} (16 bits). *)
+
+val max_b : int
+(** Largest valid [b] argument of {!add_tagged} (38 bits). *)
+
+val add_tagged : 'a t -> time:Time.t -> tag:int -> a:int -> b:int -> handle
+(** Schedule an int-tagged event: instead of a boxed ['a] payload the
+    entry carries [(tag, a, b)] packed into one immediate word, so the
+    add allocates nothing, pays no write-barrier work, and leaves the
+    pooled entry's size (hence the slab's cache footprint) untouched —
+    the field it rides in was freed up by packing the entry's
+    generation counter and active flag into one word. [tag] is the
+    caller's
+    dispatch-table index (8 bits); [a] is a small argument (16 bits,
+    e.g. a core index); [b] is a wide argument (38 bits, e.g. a
+    timestamp or an overhead in ns). Out-of-range values raise
+    [Invalid_argument]. Tagged events are delivered by
+    {!drain_batch}/{!pop_event}; consuming one through the untyped
+    {!pop}/{!pop_if_before}/{!drain_before} returns an unspecified
+    value — queues mixing both payload kinds must drain through the
+    tag-aware entry points. *)
+
 val cancel : 'a t -> handle -> unit
 (** Cancel a previously scheduled event. Cancelling twice, or cancelling
     an already-popped event, is a no-op (the handle's generation stamp
@@ -67,6 +93,37 @@ val drain_before : 'a t -> horizon:Time.t -> (Time.t -> 'a -> unit) -> unit
     [horizon] in order and calls [f time value] on each, including events
     [f] itself adds at or before the horizon. Allocation-free per event —
     this is the simulation driver's hot loop. *)
+
+val drain_batch :
+  'a t ->
+  horizon:Time.t ->
+  start:(Time.t -> unit) ->
+  handlers:(int -> int -> unit) array ->
+  (Time.t -> 'a -> unit) ->
+  int
+(** [drain_batch t ~horizon ~start ~handlers f] pops every live event at
+    or before [horizon] in exactly the order {!drain_before} would —
+    (time, seq) FIFO — but groups consecutive same-timestamp events into
+    batches: [start bt] fires once when the drain moves to a new batch
+    timestamp [bt], then every event at [bt] is dispatched without
+    re-checking the horizon or re-storing the clock. A tagged event
+    calls [handlers.(tag) a b] directly — one indirect call, no
+    trampoline — and a boxed one calls [f time value]. Events the
+    callbacks add at the current batch time carry higher sequence
+    numbers, so they join the tail of the running batch (identical to
+    one-at-a-time semantics); cancels into the current batch are honored
+    because entries are still consumed one at a time. Returns the number
+    of events dispatched. Allocation-free per event. *)
+
+val pop_event :
+  'a t ->
+  tagged:(Time.t -> int -> int -> int -> unit) ->
+  closure:(Time.t -> 'a -> unit) ->
+  bool
+(** Remove the earliest live event and hand it to the matching callback
+    ([tagged time tag a b] or [closure time value]); [false] if the
+    queue is empty. The payload-kind-aware analogue of {!pop}, for
+    single-step drivers over queues that may hold tagged entries. *)
 
 (** {2 Pool occupancy}
 

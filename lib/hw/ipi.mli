@@ -19,6 +19,14 @@ val send :
     (ioctl) is also returned to the caller via {!send_cost} so it can be
     charged to the scheduler core. *)
 
+val send_tagged : t -> to_core:int -> tag:int -> a:int -> b:int -> unit
+(** Like {!send}, but delivery fires the {!Vessel_engine.Sim} handler
+    registered under [tag] with payload [(a, b)] — closure-free when
+    probes are off, and observably identical to {!send} when they are on
+    (the deliver instant is emitted, then the same handler runs via
+    [Sim.dispatch_tag]). Spurious duplicate deliveries are always
+    tagged, matching {!send}'s unwrapped duplicates. *)
+
 val send_cost : t -> int
 (** Sender-side busy time (the ioctl syscall). *)
 

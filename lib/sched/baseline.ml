@@ -97,6 +97,10 @@ type t = {
   mutable next_tid : int;
   mutable reallocs : int;
   mutable running : bool;
+  (* Sim dispatch tags registered in [make]; closure-free IPI preemption
+     and realloc tick. *)
+  mutable preempt_tag : int;
+  mutable tick_tag : int;
 }
 
 let get_exec t = match t.exec with Some e -> e | None -> assert false
@@ -343,10 +347,9 @@ let preempt_for t ~app ~core =
   | None -> ());
   acquire t ~core app;
   t.spun.(core) <- false;
-  Hw.Ipi.send (Hw.Machine.ipi t.machine) ~to_core:core
-    ~on_deliver:(fun _ ->
-      U.Exec.preempt (get_exec t) ~core
-        ~overhead:(c.Cost_model.kernel_signal + c.Cost_model.user_save_state))
+  Hw.Ipi.send_tagged (Hw.Machine.ipi t.machine) ~to_core:core ~tag:t.preempt_tag
+    ~a:core
+    ~b:(c.Cost_model.kernel_signal + c.Cost_model.user_save_state)
 
 (* (cores wanted, may they be taken from best-effort apps) *)
 let demand t a =
@@ -417,10 +420,12 @@ let scheduler_pass t =
       backfill ())
     (classed Sched_intf.Best_effort)
 
-let rec tick t sim =
+let tick t =
   if t.running then begin
     scheduler_pass t;
-    ignore (Sim.schedule_after sim ~delay:t.profile.realloc_interval (tick t))
+    ignore
+      (Sim.schedule_tagged_after (Hw.Machine.sim t.machine)
+         ~delay:t.profile.realloc_interval ~tag:t.tick_tag ~a:0 ~b:0)
   end
 
 (* --- Sched_intf plumbing --- *)
@@ -504,8 +509,8 @@ let start t =
   U.Exec.start_all (get_exec t);
   scheduler_pass t;
   ignore
-    (Sim.schedule_after (Hw.Machine.sim t.machine)
-       ~delay:t.profile.realloc_interval (tick t))
+    (Sim.schedule_tagged_after (Hw.Machine.sim t.machine)
+       ~delay:t.profile.realloc_interval ~tag:t.tick_tag ~a:0 ~b:0)
 
 let stop t =
   t.running <- false;
@@ -531,6 +536,8 @@ let make profile ~machine =
       next_tid = 1;
       reallocs = 0;
       running = false;
+      preempt_tag = -1;
+      tick_tag = -1;
     }
   in
   let hooks =
@@ -549,6 +556,11 @@ let make profile ~machine =
     }
   in
   t.exec <- Some (U.Exec.create machine hooks);
+  let sim = Hw.Machine.sim machine in
+  t.preempt_tag <-
+    Sim.register_handler sim (fun core overhead ->
+        U.Exec.preempt (get_exec t) ~core ~overhead);
+  t.tick_tag <- Sim.register_handler sim (fun _ _ -> tick t);
   t
 
 let system t =

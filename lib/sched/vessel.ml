@@ -40,6 +40,7 @@ type t = {
   mutable preempts : int;
   mutable running : bool;
   mutable last_rotation : int array;
+  mutable tick_tag : int; (* Sim dispatch tag for the scan tick; -1 until [start] *)
 }
 
 let make ?(params = default_params) ?slots ?cores ~machine () =
@@ -63,6 +64,7 @@ let make ?(params = default_params) ?slots ?cores ~machine () =
     preempts = 0;
     running = false;
     last_rotation = Array.make (Hw.Machine.ncores machine) 0;
+    tick_tag = -1;
   }
 
 let manager t = t.mgr
@@ -243,19 +245,24 @@ and scan_core t core =
     end
   end
 
-let rec tick t sim =
+let tick t =
   if t.running then begin
     scan_backlogs t;
     scan t;
-    ignore (Sim.schedule_after sim ~delay:t.params.scan_interval (tick t))
+    ignore
+      (Sim.schedule_tagged_after (Hw.Machine.sim t.machine)
+         ~delay:t.params.scan_interval ~tag:t.tick_tag ~a:0 ~b:0)
   end
 
 let start t =
   t.running <- true;
+  if t.tick_tag < 0 then
+    t.tick_tag <-
+      Sim.register_handler (Hw.Machine.sim t.machine) (fun _ _ -> tick t);
   U.Manager.start ~cores:(Array.to_list t.cores) t.mgr;
   ignore
-    (Sim.schedule_after (Hw.Machine.sim t.machine) ~delay:t.params.scan_interval
-       (tick t))
+    (Sim.schedule_tagged_after (Hw.Machine.sim t.machine)
+       ~delay:t.params.scan_interval ~tag:t.tick_tag ~a:0 ~b:0)
 
 let stop t =
   t.running <- false;

@@ -60,15 +60,12 @@ type t = {
   hooks : hooks;
   states : core_state array;
   mutable observer : (observation -> unit) option;
+  (* Sim dispatch tags for the two hottest event kinds (segment
+     completion and switch landing), registered once in [create] so the
+     per-event schedules are closure-free. -1 until registered. *)
+  mutable complete_tag : int;
+  mutable switch_tag : int;
 }
-
-let create machine hooks =
-  {
-    machine;
-    hooks;
-    states = Array.make (Hw.Machine.ncores machine) Stopped;
-    observer = None;
-  }
 
 let set_observer t f = t.observer <- Some f
 
@@ -161,25 +158,27 @@ let rec free_core t ~core ~kind ~extra =
       Probe.observe "uproc.switch_ns" overhead
     end;
     let handle =
-      Sim.schedule_after (sim t) ~delay:overhead (fun _ ->
-          if !Probe.on then
-            Probe.span_end ~ts:(now t) ~track:(core_track core);
-          charge t ~core t.hooks.overhead_category overhead;
-          match t.states.(core) with
-          | Switching s ->
-              let next =
-                (* The chosen thread may have exited/been killed while the
-                   switch was in flight. *)
-                match s.next with
-                | Some th when Uthread.state th = Uthread.Exited -> None
-                | n -> n
-              in
-              land_switch t ~core ~next;
-              if s.preempt_after then preempt t ~core ~overhead:0
-          | Stopped | Idle _ | Executing _ -> ())
+      Sim.schedule_tagged_after (sim t) ~delay:overhead ~tag:t.switch_tag
+        ~a:core ~b:overhead
     in
     t.states.(core) <- Switching { next; handle; preempt_after = false }
   end
+
+and switch_landed t ~core ~overhead =
+  if !Probe.on then Probe.span_end ~ts:(now t) ~track:(core_track core);
+  charge t ~core t.hooks.overhead_category overhead;
+  match t.states.(core) with
+  | Switching s ->
+      let next =
+        (* The chosen thread may have exited/been killed while the
+           switch was in flight. *)
+        match s.next with
+        | Some th when Uthread.state th = Uthread.Exited -> None
+        | n -> n
+      in
+      land_switch t ~core ~next;
+      if s.preempt_after then preempt t ~core ~overhead:0
+  | Stopped | Idle _ | Executing _ -> ()
 
 and land_switch t ~core ~next =
   match next with
@@ -254,8 +253,8 @@ and run_timed t ~core th action ~effective =
         ]
       ();
   let handle =
-    Sim.schedule_after (sim t) ~delay:effective (fun _ ->
-        complete_segment t ~core th action ~effective)
+    Sim.schedule_tagged_after (sim t) ~delay:effective ~tag:t.complete_tag
+      ~a:core ~b:0
   in
   t.states.(core) <- Executing { th; action; started; effective; handle }
 
@@ -339,6 +338,32 @@ and notify t ~core =
       in
       free_core t ~core ~kind:Idle_wake ~extra:wake
   | Stopped | Switching _ | Executing _ -> ()
+
+let create machine hooks =
+  let t =
+    {
+      machine;
+      hooks;
+      states = Array.make (Hw.Machine.ncores machine) Stopped;
+      observer = None;
+      complete_tag = -1;
+      switch_tag = -1;
+    }
+  in
+  let sim = Hw.Machine.sim machine in
+  t.complete_tag <-
+    Sim.register_handler sim (fun core _ ->
+        (* Every transition out of [Executing] cancels the completion
+           handle, so a firing completion always finds the segment it was
+           scheduled for. *)
+        match t.states.(core) with
+        | Executing { th; action; effective; _ } ->
+            complete_segment t ~core th action ~effective
+        | Stopped | Idle _ | Switching _ -> assert false);
+  t.switch_tag <-
+    Sim.register_handler sim (fun core overhead ->
+        switch_landed t ~core ~overhead);
+  t
 
 let start t ~core =
   match t.states.(core) with

@@ -276,15 +276,20 @@ let create ~machine ~smas () =
   in
   t.exec <- Some (Exec.create machine hooks);
   (* Posted user interrupts reach their handler after the delivery
-     latency. *)
+     latency; delivery is a tagged event so each senduipi is
+     allocation-free. *)
+  let uintr_tag =
+    Sim.register_handler (Hw.Machine.sim machine) (fun core _ ->
+        handle_uintr t ~core)
+  in
   Hw.Machine.set_uintr_dispatch machine (fun r ->
       (* Several domains share the fabric: only react to our receivers. *)
       let core = Hw.Uintr.receiver_id r in
       if core >= 0 && core < n && t.receivers.(core) == r then begin
         let delay = (Hw.Machine.cost machine).Cost_model.uintr_delivery in
         ignore
-          (Sim.schedule_after (Hw.Machine.sim machine) ~delay (fun _ ->
-               handle_uintr t ~core))
+          (Sim.schedule_tagged_after (Hw.Machine.sim machine) ~delay
+             ~tag:uintr_tag ~a:core ~b:0)
       end);
   t
 

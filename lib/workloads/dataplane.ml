@@ -17,20 +17,38 @@ type t = {
   latencies : Stats.Histogram.t;
   mutable inflight : int;
   mutable processed : int;
+  mutable complete_tag : int;
+      (* Sim dispatch tag for SSD completions; the submit path is
+         closure-free *)
 }
 
+let post t ~stamp =
+  Queue.push stamp t.queue;
+  t.sys.S.Sched_intf.notify_app ~app_id:t.app_id
+
 let make ~sim ~sys ~app_id kind =
-  {
-    sim;
-    sys;
-    app_id;
-    kind;
-    rng = Rng.split (Sim.rng sim);
-    queue = Queue.create ();
-    latencies = Stats.Histogram.create ();
-    inflight = 0;
-    processed = 0;
-  }
+  let t =
+    {
+      sim;
+      sys;
+      app_id;
+      kind;
+      rng = Rng.split (Sim.rng sim);
+      queue = Queue.create ();
+      latencies = Stats.Histogram.create ();
+      inflight = 0;
+      processed = 0;
+      complete_tag = -1;
+    }
+  in
+  t.complete_tag <-
+    Sim.register_handler sim (fun _ stamp ->
+        t.inflight <- t.inflight - 1;
+        (* Completion latency is measured from submission. The stamp
+           rides the wide [b] argument: it is a timestamp, far past the
+           16-bit [a] range. *)
+        post t ~stamp);
+  t
 
 let create_nic ~sim ~sys ~app_id () = make ~sim ~sys ~app_id Nic
 
@@ -40,10 +58,6 @@ let default_ssd_latency =
 
 let create_ssd ~sim ~sys ~app_id ?(device_latency = default_ssd_latency) () =
   make ~sim ~sys ~app_id (Ssd { latency = device_latency })
-
-let post t ~stamp =
-  Queue.push stamp t.queue;
-  t.sys.S.Sched_intf.notify_app ~app_id:t.app_id
 
 let rx t ~at =
   match t.kind with
@@ -57,10 +71,8 @@ let submit t ~now =
       t.inflight <- t.inflight + 1;
       let d = max 1 (int_of_float (Float.round (Dist.sample latency t.rng))) in
       ignore
-        (Sim.schedule_after t.sim ~delay:d (fun _ ->
-             t.inflight <- t.inflight - 1;
-             (* Completion latency is measured from submission. *)
-             post t ~stamp:now))
+        (Sim.schedule_tagged_after t.sim ~delay:d ~tag:t.complete_tag ~a:0
+           ~b:now)
 
 let poller_step t ?(batch = 16) ?(proc_ns = 600) ?(poll_ns = 200) () =
   (* One poll probe per dry spell, then park: the section-5.2.5

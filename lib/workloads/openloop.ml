@@ -18,27 +18,16 @@ type t = {
   mutable served : int;
   mutable arrivals_until : int;
   mutable rate_rps : float;
+  mutable gap_dist : Dist.t;
+      (* exponential with mean [1e9 /. rate_rps], rebuilt in [start] so
+         the per-arrival path allocates no distribution *)
   mutable epoch : int; (* invalidates stale arrival chains on rate change *)
   mutable ingress : (now:int -> int) option;
+  (* Sim dispatch tags for the arrival chain and ingress-delayed delivery,
+     registered in [create]; the steady-state arrival path is closure-free. *)
+  mutable arrival_tag : int;
+  mutable deliver_tag : int;
 }
-
-let create ~sim ~sys ~app_id ~service =
-  {
-    sim;
-    sys;
-    app_id;
-    service;
-    rng = Rng.split (Sim.rng sim);
-    requests = Queue.create ();
-    latencies = Stats.Histogram.create ();
-    window_start = 0;
-    offered = 0;
-    served = 0;
-    arrivals_until = 0;
-    rate_rps = 0.;
-    epoch = 0;
-    ingress = None;
-  }
 
 let in_window t at = at >= t.window_start
 
@@ -86,30 +75,61 @@ let inject t =
       | d when d <= 0 -> deliver t ~arrived:at
       | d ->
           ignore
-            (Sim.schedule_after t.sim ~delay:d (fun _ -> deliver t ~arrived:at)))
+            (Sim.schedule_tagged_after t.sim ~delay:d ~tag:t.deliver_tag ~a:0
+               ~b:at))
 
 let set_ingress t f = t.ingress <- Some f
 
-let rec arrival_chain t ~epoch sim =
-  if epoch = t.epoch && Sim.now sim < t.arrivals_until then begin
+let rec arrival_chain t ~epoch =
+  if epoch = t.epoch && Sim.now t.sim < t.arrivals_until then begin
     inject t;
     schedule_next t ~epoch
   end
 
 and schedule_next t ~epoch =
-  let mean_gap = 1e9 /. t.rate_rps in
   let gap =
-    max 1
-      (int_of_float
-         (Float.round (Dist.sample (Dist.exponential ~mean:mean_gap) t.rng)))
+    max 1 (int_of_float (Float.round (Dist.sample t.gap_dist t.rng)))
   in
   if Sim.now t.sim + gap < t.arrivals_until then
-    ignore (Sim.schedule_after t.sim ~delay:gap (arrival_chain t ~epoch))
+    ignore
+      (Sim.schedule_tagged_after t.sim ~delay:gap ~tag:t.arrival_tag ~a:epoch
+         ~b:0)
+
+let create ~sim ~sys ~app_id ~service =
+  let t =
+    {
+      sim;
+      sys;
+      app_id;
+      service;
+      rng = Rng.split (Sim.rng sim);
+      requests = Queue.create ();
+      latencies = Stats.Histogram.create ();
+      window_start = 0;
+      offered = 0;
+      served = 0;
+      arrivals_until = 0;
+      rate_rps = 0.;
+      gap_dist = Dist.constant 0.;
+      epoch = 0;
+      ingress = None;
+      arrival_tag = -1;
+      deliver_tag = -1;
+    }
+  in
+  t.arrival_tag <-
+    Sim.register_handler sim (fun epoch _ -> arrival_chain t ~epoch);
+  t.deliver_tag <-
+    (* The arrival stamp rides the wide [b] word: it is a timestamp,
+       far past the 16-bit [a] range. *)
+    Sim.register_handler sim (fun _ arrived -> deliver t ~arrived);
+  t
 
 let start t ~rate_rps ~until =
   if rate_rps <= 0. then invalid_arg "Openloop.start: rate must be positive";
   t.epoch <- t.epoch + 1;
   t.rate_rps <- rate_rps;
+  t.gap_dist <- Dist.exponential ~mean:(1e9 /. rate_rps);
   t.arrivals_until <- until;
   schedule_next t ~epoch:t.epoch
 

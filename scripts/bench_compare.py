@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Compare a BENCH_4.json run against a committed baseline snapshot.
+"""Compare a bench JSON record against a committed baseline snapshot.
 
-Warn-only: prints per-experiment events/sec and per-queue-point ns/op
-deltas, flags regressions beyond a tolerance, and ALWAYS exits 0 — CI
-machines are too noisy to gate on wall-clock throughput, but the trend
-belongs in every run's log.
+Reads either schema: vessel-bench-1 (BENCH_4.json: experiments + queue)
+or vessel-bench-5 (BENCH_5.json: the same plus the aggregate "suite"
+row). Prints per-experiment events/sec and per-queue-point ns/op
+deltas, notes improvements, and FAILS (exit 1) on any regression beyond
+the tolerance. Pass --warn-only to restore the old advisory behaviour
+(always exit 0) for ad-hoc local runs on loaded machines.
 
-Usage: bench_compare.py BASELINE CURRENT [--tolerance PCT]
+Only rows present in BOTH files are compared, so a --quick current run
+gates only the quick subset against the full-suite baseline, and the
+aggregate suite row is compared only when both records carry one with
+the same experiment set (a quick aggregate vs a full-suite aggregate
+would be apples to oranges).
+
+Usage: bench_compare.py BASELINE CURRENT [--tolerance PCT] [--warn-only]
 """
 
 import argparse
@@ -14,12 +22,14 @@ import json
 import sys
 
 
-def load(path):
+def load(path, required):
     try:
         with open(path) as f:
             return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}")
+        if required:
+            sys.exit(1)
         return None
 
 
@@ -36,19 +46,28 @@ def main():
     ap.add_argument(
         "--tolerance",
         type=float,
-        default=25.0,
-        help="warn when slower than baseline by more than this percent",
+        default=10.0,
+        help="fail when slower than baseline by more than this percent",
+    )
+    ap.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0",
     )
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    # A missing/corrupt file is a hard error in gate mode: a gate that
+    # silently passes when its baseline vanished is no gate at all.
+    base = load(args.baseline, required=not args.warn_only)
+    cur = load(args.current, required=not args.warn_only)
     if base is None or cur is None:
-        return 0  # warn-only: a missing file must not fail the build
+        return 0
 
-    warned = False
+    regressions = []
+    improvements = 0
 
     base_exp = {e["name"]: e for e in base.get("experiments", [])}
+    cur_names = {e["name"] for e in cur.get("experiments", [])}
     print(f"{'experiment':<12} {'base ev/s':>12} {'now ev/s':>12} {'delta':>8}")
     for e in cur.get("experiments", []):
         b = base_exp.get(e["name"])
@@ -56,18 +75,46 @@ def main():
             print(f"{e['name']:<12} {'-':>12} {e['events_per_sec']:>12.0f}")
             continue
         d = pct(e["events_per_sec"], b["events_per_sec"])
+        # Sub-50ms experiments sit at wall-clock resolution: their
+        # events/sec is dominated by timer granularity, not by the
+        # simulator. Report them, never gate on them.
+        if min(b.get("seconds", 1.0), e.get("seconds", 1.0)) < 0.05:
+            print(
+                f"{e['name']:<12} {b['events_per_sec']:>12.0f} "
+                f"{e['events_per_sec']:>12.0f} {d:>+7.1f}%  "
+                "(sub-50ms, informational)"
+            )
+            continue
         flag = ""
         if d < -args.tolerance:
-            flag = "  <-- slower than baseline"
-            warned = True
+            flag = "  <-- REGRESSION"
+            regressions.append(f"{e['name']} {d:+.1f}% ev/s")
+        elif d > args.tolerance:
+            flag = "  (faster than baseline)"
+            improvements += 1
         print(
             f"{e['name']:<12} {b['events_per_sec']:>12.0f} "
             f"{e['events_per_sec']:>12.0f} {d:>+7.1f}%{flag}"
         )
 
-    base_q = {
-        (q["backend"], q["pending"]): q for q in base.get("queue", [])
-    }
+    # Aggregate suite throughput (vessel-bench-5) — only when both
+    # records aggregate the same experiment set.
+    bs, cs = base.get("suite"), cur.get("suite")
+    if bs and cs and set(base_exp) == cur_names and bs.get("events_per_sec", 0):
+        d = pct(cs["events_per_sec"], bs["events_per_sec"])
+        flag = ""
+        if d < -args.tolerance:
+            flag = "  <-- REGRESSION"
+            regressions.append(f"suite {d:+.1f}% ev/s")
+        elif d > args.tolerance:
+            flag = "  (faster than baseline)"
+            improvements += 1
+        print(
+            f"{'suite':<12} {bs['events_per_sec']:>12.0f} "
+            f"{cs['events_per_sec']:>12.0f} {d:>+7.1f}%{flag}"
+        )
+
+    base_q = {(q["backend"], q["pending"]): q for q in base.get("queue", [])}
     rows = cur.get("queue", [])
     if rows:
         print()
@@ -82,20 +129,31 @@ def main():
         d = pct(q["ns_per_op"], b["ns_per_op"])  # higher ns/op = slower
         flag = ""
         if d > args.tolerance:
-            flag = "  <-- slower than baseline"
-            warned = True
+            flag = "  <-- REGRESSION"
+            regressions.append(f"{name} {d:+.1f}% ns/op")
+        elif d < -args.tolerance:
+            flag = "  (faster than baseline)"
+            improvements += 1
         print(
             f"{name:<22} {b['ns_per_op']:>11.1f} {q['ns_per_op']:>11.1f} "
             f"{d:>+7.1f}%{flag}"
         )
 
-    if warned:
+    print()
+    if improvements:
+        print(f"bench_compare: {improvements} point(s) faster than baseline")
+    if regressions:
         print(
-            f"\nbench_compare: regressions beyond {args.tolerance:.0f}% "
-            "tolerance (warn-only, not failing the build)"
+            f"bench_compare: {len(regressions)} regression(s) beyond "
+            f"{args.tolerance:.0f}% tolerance:"
         )
-    else:
-        print("\nbench_compare: within tolerance of baseline")
+        for r in regressions:
+            print(f"  - {r}")
+        if args.warn_only:
+            print("bench_compare: warn-only, not failing the build")
+            return 0
+        return 1
+    print("bench_compare: within tolerance of baseline")
     return 0
 
 

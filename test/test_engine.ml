@@ -594,6 +594,149 @@ let test_sim_step () =
   check_int "clock moved" 7 (Sim.now sim);
   check_bool "exhausted" false (Sim.step sim)
 
+(* ------------------------------------------------------------------ *)
+(* Batched dispatch: [run_until]'s batch drain must be observably
+   identical to one-at-a-time [step] — callback order, the clock each
+   callback sees, and the executed counters — including reentrant
+   schedules into the current batch and cancels aimed at events later
+   in the same batch. *)
+
+type batch_op =
+  | Fire (* a tagged event that only logs *)
+  | Boxed (* a closure event that only logs *)
+  | Spawn_same (* schedules a tagged event at its own timestamp *)
+  | Spawn_later of int (* schedules a tagged event [d] later *)
+  | Cancel_next (* cancels the earliest still-pending Fire handle *)
+
+let batch_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, return Fire);
+        (2, return Boxed);
+        (2, return Spawn_same);
+        (2, map (fun d -> Spawn_later (d + 1)) (int_bound 40));
+        (2, return Cancel_next);
+      ])
+
+(* Small time range so many events share a timestamp (deep batches). *)
+let batch_scenario_gen =
+  QCheck.Gen.(
+    list_size (int_bound 60) (pair (int_bound 20) batch_op_gen))
+
+let batch_op_print (t, op) =
+  Printf.sprintf "(%d, %s)" t
+    (match op with
+    | Fire -> "Fire"
+    | Boxed -> "Boxed"
+    | Spawn_same -> "Spawn_same"
+    | Spawn_later d -> Printf.sprintf "Spawn_later %d" d
+    | Cancel_next -> "Cancel_next")
+
+let batch_scenario_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map batch_op_print ops))
+    batch_scenario_gen
+
+(* Interpret a scenario on a fresh sim. [drive] consumes the sim after
+   setup; the observable record is the (clock, id) log plus the local
+   executed counter. Tagged log events carry their scenario index in
+   [a] so the two runs can be compared id-by-id. *)
+let run_batch_scenario ~backend ~drive ops =
+  let sim = Sim.create ~backend () in
+  let log = ref [] in
+  let fire_tag =
+    Sim.register_handler sim (fun a _ -> log := (Sim.now sim, a) :: !log)
+  in
+  (* Pending Fire handles, oldest first, for Cancel_next to target. *)
+  let pending = Queue.create () in
+  List.iteri
+    (fun i (time, op) ->
+      match op with
+      | Fire ->
+          Queue.push
+            (Sim.schedule_tagged sim ~at:time ~tag:fire_tag ~a:i ~b:0)
+            pending
+      | Boxed ->
+          ignore
+            (Sim.schedule sim ~at:time (fun sim ->
+                 log := (Sim.now sim, 10_000 + i) :: !log))
+      | Spawn_same ->
+          ignore
+            (Sim.schedule sim ~at:time (fun sim ->
+                 ignore
+                   (Sim.schedule_tagged sim ~at:(Sim.now sim) ~tag:fire_tag
+                      ~a:(20_000 + i) ~b:0)))
+      | Spawn_later d ->
+          ignore
+            (Sim.schedule sim ~at:time (fun sim ->
+                 ignore
+                   (Sim.schedule_tagged_after sim ~delay:d ~tag:fire_tag
+                      ~a:(30_000 + i) ~b:0)))
+      | Cancel_next ->
+          ignore
+            (Sim.schedule sim ~at:time (fun sim ->
+                 match Queue.take_opt pending with
+                 | Some h -> Sim.cancel sim h
+                 | None -> ())))
+    ops;
+  drive sim;
+  (List.rev !log, Sim.events_executed sim)
+
+let drive_run_until sim = Sim.run_until sim 1_000
+
+let drive_step sim =
+  while Sim.step sim do
+    ()
+  done
+
+let prop_batch_vs_step (name, backend) =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "run_until batches = step-at-a-time (%s)" name)
+    ~count:500 batch_scenario_arb (fun ops ->
+      let g0 = Sim.total_events_executed () in
+      let batched = run_batch_scenario ~backend ~drive:drive_run_until ops in
+      let stepped = run_batch_scenario ~backend ~drive:drive_step ops in
+      let g1 = Sim.total_events_executed () in
+      (* Satellite invariant: the batched global-counter flush loses
+         nothing — the process-wide aggregate advances by exactly the
+         two runs' local counts. *)
+      batched = stepped && g1 - g0 = snd batched + snd stepped)
+
+(* The tagged scheduling path must stay allocation-free end to end
+   through [Sim.run_until]: a warm self-rescheduling handler churns the
+   queue with no minor-heap traffic. Budget is per horizon-window, not
+   per event. *)
+let test_sim_tagged_zero_alloc () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let tag = ref (-1) in
+  let rounds = 100 and per_round = 256 in
+  tag :=
+    Sim.register_handler sim (fun a _ ->
+        incr count;
+        if a > 1 then
+          ignore (Sim.schedule_tagged_after sim ~delay:7 ~tag:!tag ~a:(a - 1) ~b:0));
+  let churn () =
+    for _ = 1 to rounds do
+      ignore
+        (Sim.schedule_tagged_after sim ~delay:1 ~tag:!tag ~a:per_round ~b:0);
+      Sim.run_until sim (Sim.now sim + (7 * per_round) + 10)
+    done
+  in
+  churn ();
+  let w0 = Gc.minor_words () in
+  churn ();
+  let per_event =
+    (Gc.minor_words () -. w0) /. float_of_int (rounds * per_round)
+  in
+  check_int "fired" (2 * rounds * per_round) !count;
+  check_bool
+    (Printf.sprintf "tagged run_until allocation-free (%.3f words/event)"
+       per_event)
+    true (per_event < 0.5)
+
 let test_sim_deterministic_replay () =
   let run () =
     let sim = Sim.create ~seed:99 () in
@@ -687,7 +830,12 @@ let suite =
         Alcotest.test_case "past rejected" `Quick test_sim_schedule_past_rejected;
         Alcotest.test_case "cancel" `Quick test_sim_cancel;
         Alcotest.test_case "step" `Quick test_sim_step;
+        Alcotest.test_case "tagged run_until zero-alloc" `Quick
+          test_sim_tagged_zero_alloc;
         Alcotest.test_case "deterministic replay" `Quick
           test_sim_deterministic_replay;
-      ] );
+      ]
+      @ List.map
+          (fun b -> QCheck_alcotest.to_alcotest (prop_batch_vs_step b))
+          eq_backends );
   ]

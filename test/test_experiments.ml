@@ -50,6 +50,28 @@ let test_fig1_shape () =
     (fun r -> check_bool "below ideal" true (r.Exp_fig1.normalized_total < 1.0))
     rows
 
+(* The per-event allocation budget over a real workload, not just queue
+   churn: a full (reduced-scale) fig1 run — memcached + linpack under
+   both schedulers, arrivals, preemptions, uintr delivery, switches —
+   must stay within a small fixed number of minor-heap words per event.
+   The engine's drain/dispatch path contributes zero; what remains is
+   the workloads' own action records and completion closures. The
+   budget has headroom over the measured value (~80 words/event) but
+   fails on any order-of-magnitude regression, e.g. a hot path quietly
+   reverting to closure scheduling. *)
+let test_fig1_alloc_budget () =
+  let e0 = Vessel_engine.Sim.total_events_executed () in
+  let w0 = Gc.minor_words () in
+  ignore (Exp_fig1.run ~cores:4 ~fractions:[ 0.5 ] ());
+  let words = Gc.minor_words () -. w0 in
+  let events = Vessel_engine.Sim.total_events_executed () - e0 in
+  check_bool "executed something" true (events > 10_000);
+  let per_event = words /. float_of_int events in
+  check_bool
+    (Printf.sprintf "fig1 allocation budget (%.1f words/event)" per_event)
+    true
+    (per_event < 160.)
+
 (* ------------------------------------------------------------------ *)
 (* Figure 2 *)
 
@@ -237,7 +259,10 @@ let suite =
     ( "experiments.table1",
       [ Alcotest.test_case "switch latency shape" `Slow test_table1_shape ] );
     ( "experiments.fig1",
-      [ Alcotest.test_case "colocation cost shape" `Slow test_fig1_shape ] );
+      [
+        Alcotest.test_case "colocation cost shape" `Slow test_fig1_shape;
+        Alcotest.test_case "allocation budget" `Slow test_fig1_alloc_budget;
+      ] );
     ( "experiments.fig2",
       [ Alcotest.test_case "kernel grows with density" `Slow test_fig2_kernel_grows ]
     );
