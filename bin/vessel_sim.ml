@@ -7,7 +7,7 @@
 open Cmdliner
 open Vessel_experiments
 
-let version = "1.2.0"
+let version = "1.3.0"
 
 let seed =
   let doc = "Root RNG seed; every run is deterministic given the seed." in
@@ -88,6 +88,40 @@ let run_fig13a seed cores =
 
 let run_fig13b seed = Exp_fig13.print_accuracy (Exp_fig13.run_accuracy ~seed ())
 
+(* --- fleet: multi-machine cluster behind a load balancer ------------ *)
+
+let fleet_machines =
+  let doc = "Backend machines in the fleet (plus one frontend machine)." in
+  Arg.(value & opt int 8 & info [ "machines" ] ~docv:"N" ~doc)
+
+let fleet_cores =
+  let doc = "Worker cores per backend machine." in
+  Arg.(value & opt int 2 & info [ "fleet-cores" ] ~docv:"N" ~doc)
+
+let fleet_policies =
+  let doc =
+    "Comma-separated routing policies: $(b,round-robin) (or rr), \
+     $(b,least-loaded) (ll), $(b,consistent-hash) (ch)."
+  in
+  let policy_conv =
+    Arg.conv
+      ( (fun s ->
+          match Vessel_workloads.Frontend.policy_of_string s with
+          | Some p -> Ok p
+          | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))),
+        fun ppf p ->
+          Format.pp_print_string ppf
+            (Vessel_workloads.Frontend.policy_name p) )
+  in
+  Arg.(
+    value
+    & opt (list policy_conv) Vessel_workloads.Frontend.all_policies
+    & info [ "policies" ] ~docv:"P,P" ~doc)
+
+let run_fleet seed machines cores policies =
+  Exp_fleet.print
+    (Exp_fleet.run ~seed ~backends:machines ~cores ~policies ())
+
 (* --- check: fault-injection sweep with runtime invariant checking --- *)
 
 let check_seeds =
@@ -114,7 +148,8 @@ let check_profile =
 let check_scenario =
   let doc =
     "Scenario: $(b,fig1) (Caladan colocation), $(b,fig9) (VESSEL \
-     colocation), $(b,gate) (call-gate crossings) or $(b,all)."
+     colocation), $(b,gate) (call-gate crossings), $(b,fleet) \
+     (multi-machine cluster behind a load balancer) or $(b,all)."
   in
   let scenario_conv =
     Arg.enum
@@ -193,6 +228,10 @@ let command_table =
        with_common (fun seed cores ->
            Exp_burst.print (Exp_burst.run ~seed ~cores ()))
        $ seed $ cores));
+    ("fleet", "Fleet: machines under one clock behind a load balancer",
+     Term.(
+       with_common run_fleet $ seed $ fleet_machines $ fleet_cores
+       $ fleet_policies));
     ("all", "Every table and figure",
      Term.(with_common run_all $ seed $ cores));
   ]

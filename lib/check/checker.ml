@@ -61,6 +61,12 @@ type t = {
   queues : (int, qmodel) Hashtbl.t;
   core_pkru : (int, int) Hashtbl.t; (* core -> pkru of last dispatch *)
   mutable last_scan : int;
+  (* Cross-machine causality (cluster runs): the horizon this machine
+     has executed to, and the cluster lookahead it advertised. One
+     checker per machine — the harness installs one sink per cluster
+     scope — so these never mix across machines. *)
+  mutable cl_horizon : int;
+  mutable cl_lookahead : int;
 }
 
 let create ?(config = default_config) () =
@@ -77,6 +83,8 @@ let create ?(config = default_config) () =
     queues = Hashtbl.create 8;
     core_pkru = Hashtbl.create 8;
     last_scan = 0;
+    cl_horizon = 0;
+    cl_lookahead = 0;
   }
 
 let violations t = List.rev t.violations
@@ -233,6 +241,41 @@ let on_instant t ~ts ~track ~name ~args =
     | Some q, Some tid ->
         Hashtbl.remove t.lc_ready tid;
         model_remove (qmodel t q) tid
+    | _ -> ())
+  else if String.equal name Tag.cluster_epoch then (
+    (* Conservative-sync stride rule: an epoch may advance this machine
+       at most [lookahead] past the last barrier. *)
+    match (arg_int args "until", arg_int args "lookahead") with
+    | Some until, Some lookahead ->
+        if t.cl_lookahead > 0 && lookahead <> t.cl_lookahead then
+          violate t ~at:ts ~invariant:"causality"
+            (Printf.sprintf "cluster lookahead changed mid-run: %d -> %d"
+               t.cl_lookahead lookahead);
+        t.cl_lookahead <- lookahead;
+        if until > t.cl_horizon + lookahead then
+          violate t ~at:ts ~invariant:"causality"
+            (Printf.sprintf
+               "epoch to %d overruns barrier %d + lookahead %d" until
+               t.cl_horizon lookahead);
+        if until > t.cl_horizon then t.cl_horizon <- until
+    | _ -> ())
+  else if String.equal name Tag.cluster_deliver then (
+    (* A cross-machine message flushed at the barrier must land strictly
+       after everything this machine already executed, and its link must
+       honor the lookahead bound. *)
+    match (arg_int args "sent", arg_int args "arrival") with
+    | Some sent, Some arrival ->
+        if arrival <= t.cl_horizon then
+          violate t ~at:ts ~invariant:"causality"
+            (Printf.sprintf
+               "message (sent %d) delivered at %d, inside the executed \
+                horizon %d"
+               sent arrival t.cl_horizon);
+        if t.cl_lookahead > 0 && arrival - sent < t.cl_lookahead then
+          violate t ~at:ts ~invariant:"causality"
+            (Printf.sprintf
+               "message latency %d below cluster lookahead %d"
+               (arrival - sent) t.cl_lookahead)
     | _ -> ())
   else if String.equal name Tag.gate_enter || String.equal name Tag.gate_leave
   then

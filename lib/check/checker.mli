@@ -17,7 +17,12 @@
       the one the last dispatch published for that core;
     - {b conservation} — at {!finalize}, every core's accounted cycles
       (busy + idle + switch) equal elapsed time within
-      [conservation_tol].
+      [conservation_tol];
+    - {b causality} — in cluster runs (one checker per machine), every
+      epoch advances the machine at most the cluster lookahead past the
+      last barrier, and every cross-machine message is delivered
+      strictly after the machine's executed horizon with a latency of at
+      least the lookahead.
 
     All state is per-checker; verdicts are deterministic functions of the
     event stream, which is itself deterministic given the run's seed. *)

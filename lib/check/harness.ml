@@ -8,19 +8,23 @@ module W = Vessel_workloads
 module E = Vessel_experiments
 module Probe = Vessel_obs.Probe
 
-type scenario = Fig1_class | Fig9_class | Gate
+module Cluster = Vessel_cluster.Cluster
 
-let all_scenarios = [ Fig1_class; Fig9_class; Gate ]
+type scenario = Fig1_class | Fig9_class | Gate | Fleet_class
+
+let all_scenarios = [ Fig1_class; Fig9_class; Gate; Fleet_class ]
 
 let scenario_name = function
   | Fig1_class -> "fig1"
   | Fig9_class -> "fig9"
   | Gate -> "gate"
+  | Fleet_class -> "fleet"
 
 let scenario_of_string = function
   | "fig1" -> Some Fig1_class
   | "fig9" -> Some Fig9_class
   | "gate" -> Some Gate
+  | "fleet" -> Some Fleet_class
   | _ -> None
 
 type verdict = {
@@ -106,26 +110,94 @@ let run_gate ~seed ~profile ~checker () =
   Checker.finalize checker ~elapsed:(gate_crossings * gate_spacing);
   Hw.Inject.injected (Hw.Machine.inject machine)
 
-let run_one ?vessel_params ?config ~seed ~profile ~scenario () =
-  let checker = Checker.create ?config () in
-  let faults =
-    match scenario with
-    | Fig1_class ->
-        run_colocation ~kind:E.Runner.Caladan ~seed ~profile ~checker ()
-    | Fig9_class ->
-        run_colocation ~kind:E.Runner.Vessel ?vessel_params ~seed ~profile
-          ~checker ()
-    | Gate -> run_gate ~seed ~profile ~checker ()
+(* A small fleet: a frontend machine load-balancing a memcached-class
+   service over VESSEL backends, faults injected on every backend. One
+   checker per machine — installed as the cluster scope, so each
+   machine's probe stream (including barrier-time link deliveries) is
+   validated in isolation and the new causality invariant sees exactly
+   its own machine's epochs. Runs inside a sweep point, so the cluster
+   itself runs sequentially (a nested pool map would anyway). *)
+let fleet_backends = 3
+let fleet_lookahead = 20_000 (* 20 us: epoch stride and link latency *)
+
+let run_fleet ?config ~seed ~profile () =
+  let machines = fleet_backends + 1 in
+  let cluster =
+    Cluster.create ~seed ~machines ~lookahead:fleet_lookahead ()
   in
+  let checkers = Array.init machines (fun _ -> Checker.create ?config ()) in
+  let sinks = Array.map Checker.sink checkers in
+  Cluster.set_scope cluster (fun m f -> Probe.with_sink sinks.(m) f);
+  let builds =
+    List.init fleet_backends (fun i ->
+        let sim = Cluster.sim cluster (i + 1) in
+        let b = E.Runner.build ~sim ~cores:colo_cores E.Runner.Vessel in
+        Fault.install profile ~rng:(Rng.split (Sim.rng sim)) b.E.Runner.machine;
+        (i + 1, b))
+  in
+  let fe =
+    W.Frontend.create ~cluster ~frontend:0 ~policy:W.Frontend.Least_loaded
+      ~service:W.Memcached.service_dist ~workers:colo_cores
+      ~backends:(List.map (fun (m, b) -> (m, b.E.Runner.sys)) builds)
+      ()
+  in
+  let rate_rps =
+    0.5
+    *. float_of_int (fleet_backends * colo_cores)
+    /. W.Memcached.mean_service_ns *. 1e9
+  in
+  List.iter (fun (_, b) -> b.E.Runner.sys.S.Sched_intf.start ()) builds;
+  W.Frontend.start fe ~rate_rps ~until:colo_duration;
+  Cluster.run_until cluster colo_duration;
+  List.iter (fun (_, b) -> b.E.Runner.sys.S.Sched_intf.stop ()) builds;
+  Checker.finalize checkers.(0) ~elapsed:colo_duration;
+  List.iter
+    (fun (m, b) ->
+      Checker.finalize checkers.(m) ~machine:b.E.Runner.machine
+        ~elapsed:colo_duration)
+    builds;
+  let faults =
+    List.fold_left
+      (fun acc (_, b) ->
+        acc + Hw.Inject.injected (Hw.Machine.inject b.E.Runner.machine))
+      0 builds
+  in
+  (faults, checkers)
+
+let verdict_of ~seed ~profile ~scenario ~faults checkers =
   {
     seed;
     profile;
     scenario;
     faults;
-    events = Checker.events_seen checker;
-    total_violations = Checker.total_violations checker;
-    violations = Checker.violations checker;
+    events =
+      Array.fold_left (fun acc c -> acc + Checker.events_seen c) 0 checkers;
+    total_violations =
+      Array.fold_left
+        (fun acc c -> acc + Checker.total_violations c)
+        0 checkers;
+    violations =
+      List.concat_map Checker.violations (Array.to_list checkers);
   }
+
+let run_one ?vessel_params ?config ~seed ~profile ~scenario () =
+  match scenario with
+  | Fleet_class ->
+      let faults, checkers = run_fleet ?config ~seed ~profile () in
+      verdict_of ~seed ~profile ~scenario ~faults checkers
+  | Fig1_class | Fig9_class | Gate ->
+      let checker = Checker.create ?config () in
+      let faults =
+        match scenario with
+        | Fig1_class ->
+            run_colocation ~kind:E.Runner.Caladan ~seed ~profile ~checker ()
+        | Fig9_class ->
+            run_colocation ~kind:E.Runner.Vessel ?vessel_params ~seed ~profile
+              ~checker ()
+        | Gate -> run_gate ~seed ~profile ~checker ()
+        | Fleet_class -> assert false
+      in
+      verdict_of ~seed ~profile ~scenario ~faults [| checker |]
 
 let run_sweep ?vessel_params ?config ?domains ~seeds ~profiles ~scenarios ()
     =

@@ -9,6 +9,11 @@ type scenario =
   | Fig1_class  (** Caladan colocation: memcached + linpack, kernel IPIs *)
   | Fig9_class  (** VESSEL colocation: memcached + linpack, Uintr *)
   | Gate  (** direct call-gate crossings under WRPKRU jitter *)
+  | Fleet_class
+      (** a frontend load-balancing over VESSEL backend machines in a
+          {!Vessel_cluster.Cluster}, faults on every backend, one checker
+          per machine (causality + all per-machine invariants); the
+          verdict merges all machines *)
 
 val all_scenarios : scenario list
 val scenario_name : scenario -> string

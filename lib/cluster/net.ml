@@ -1,0 +1,107 @@
+(* Typed cross-machine links: machine-local outboxes during an epoch,
+   drained into destination wheels at the barrier by the coordinating
+   domain. See net.mli for the causality argument. *)
+
+module Sim = Vessel_engine.Sim
+module Obs = Vessel_obs
+
+type 'a msg = { dst : int; sent_at : int; payload : 'a }
+
+type 'a t = {
+  cluster : Cluster.t;
+  lat : int;
+  name : string;
+  (* Per-destination receive handlers, installed at setup time. *)
+  recv : (now:int -> src:int -> 'a -> unit) option array;
+  (* Per-source outboxes, newest first. During a parallel epoch each
+     cell is touched only by its own machine's domain; the barrier's
+     Pool.map join gives the coordinator happens-before on all of them. *)
+  outbox : 'a msg list array;
+  (* Per-source send counters (same single-writer discipline). *)
+  n_sent : int array;
+  mutable n_delivered : int;
+}
+
+let latency t = t.lat
+let sent t = Array.fold_left ( + ) 0 t.n_sent
+let delivered t = t.n_delivered
+
+let deliver t ~until src m =
+  let arrival = m.sent_at + t.lat in
+  t.n_delivered <- t.n_delivered + 1;
+  let recv =
+    match t.recv.(m.dst) with
+    | Some f -> f
+    | None -> invalid_arg "Net: message for a machine with no receiver"
+  in
+  (* The delivery probe lands in the DESTINATION machine's unit (its
+     checker sees it, its trace shows it) stamped at the barrier — the
+     moment the message becomes visible to that machine. The probe gate
+     must be read INSIDE the scope: the flush runs on the coordinating
+     domain outside any machine scope, where the global flag only
+     reflects whether some OTHER domain happens to be inside a scope —
+     gating on it here would make emission depend on -j. *)
+  Cluster.scoped t.cluster m.dst (fun () ->
+      if !Obs.Probe.on then
+        Obs.Probe.instant ~ts:until ~track:Obs.Track.Engine
+          ~name:Obs.Tag.cluster_deliver
+          ~args:
+            [
+              ("link", Obs.Event.Str t.name);
+              ("src", Obs.Event.Int src);
+              ("sent", Obs.Event.Int m.sent_at);
+              ("arrival", Obs.Event.Int arrival);
+            ]
+          ());
+  let payload = m.payload in
+  ignore
+    (Sim.schedule
+       (Cluster.sim t.cluster m.dst)
+       ~at:arrival
+       (fun sim -> recv ~now:(Sim.now sim) ~src payload))
+
+let flush t ~until =
+  for src = 0 to Array.length t.outbox - 1 do
+    match t.outbox.(src) with
+    | [] -> ()
+    | msgs ->
+        t.outbox.(src) <- [];
+        List.iter (deliver t ~until src) (List.rev msgs)
+  done
+
+let link ?(name = "link") ?latency cluster =
+  let la = Cluster.lookahead cluster in
+  let lat = Option.value latency ~default:la in
+  if lat < la then
+    invalid_arg
+      (Printf.sprintf
+         "Net.link %s: latency %d below cluster lookahead %d breaks causality"
+         name lat la);
+  let n = Cluster.machines cluster in
+  let t =
+    {
+      cluster;
+      lat;
+      name;
+      recv = Array.make n None;
+      outbox = Array.make n [];
+      n_sent = Array.make n 0;
+      n_delivered = 0;
+    }
+  in
+  Cluster.register_flusher cluster (fun ~until -> flush t ~until);
+  t
+
+let on_receive t ~machine f =
+  (match t.recv.(machine) with
+  | Some _ -> invalid_arg "Net.on_receive: handler already installed"
+  | None -> ());
+  t.recv.(machine) <- Some f
+
+let send t ~src ~dst payload =
+  (match t.recv.(dst) with
+  | None -> invalid_arg "Net.send: destination has no receive handler"
+  | Some _ -> ());
+  let sent_at = Sim.now (Cluster.sim t.cluster src) in
+  t.outbox.(src) <- { dst; sent_at; payload } :: t.outbox.(src);
+  t.n_sent.(src) <- t.n_sent.(src) + 1

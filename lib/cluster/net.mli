@@ -1,0 +1,41 @@
+(** Typed cross-machine message links.
+
+    A link carries values of one type between the machines of a
+    {!Cluster.t} with a fixed latency. Sends during an epoch are queued
+    machine-locally (no cross-domain writes); at the epoch barrier the
+    coordinating domain drains every sender's outbox in machine order and
+    schedules each message into the destination machine's timing wheel at
+    [send_time + latency]. Because [latency >= Cluster.lookahead] is
+    enforced at link creation, the arrival is always strictly after the
+    barrier — the conservative-sync contract that makes parallel epochs
+    byte-identical to sequential ones. *)
+
+type 'a t
+
+val link :
+  ?name:string ->
+  ?latency:Vessel_engine.Time.t ->
+  Cluster.t ->
+  'a t
+(** A link spanning all machines of the cluster. [latency] defaults to
+    the cluster lookahead and must be at least it ([Invalid_argument]
+    otherwise — a shorter latency would break causality). *)
+
+val latency : 'a t -> Vessel_engine.Time.t
+
+val on_receive :
+  'a t -> machine:int -> (now:Vessel_engine.Time.t -> src:int -> 'a -> unit) -> unit
+(** Install machine [machine]'s receive handler, called from its own
+    simulation at the arrival time. At most one handler per machine per
+    link. *)
+
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+(** Queue a message from [src]'s current simulation time. Must be called
+    from within [src]'s epoch (its own events). [Invalid_argument] if
+    [dst] has no receive handler installed. *)
+
+val sent : 'a t -> int
+(** Messages sent so far (sum over senders; coherent at barriers). *)
+
+val delivered : 'a t -> int
+(** Messages flushed into destination wheels so far. *)

@@ -7,6 +7,7 @@ type t =
   | Pareto of { shape : float; scale : float }
   | Mixture of (float * t) list
   | Shifted of float * t
+  | Zipf of { cdf : float array; mean_rank : float }
 
 let constant x = Constant x
 
@@ -49,6 +50,27 @@ let mixture parts =
 
 let shifted off d = Shifted (off, d)
 
+let zipf ~s ~n =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  if s < 0. then invalid_arg "Dist.zipf: s must be >= 0";
+  (* CDF over ranks 0..n-1 with weight (r+1)^-s, normalized; a sample is
+     one uniform draw plus a binary search. Built once at construction —
+     O(n) memory, so share the value rather than rebuilding per draw. *)
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (r + 1)) s);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  let mean_rank = ref 0. in
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. total;
+    let w = 1. /. Float.pow (float_of_int (r + 1)) s /. total in
+    mean_rank := !mean_rank +. (float_of_int r *. w)
+  done;
+  Zipf { cdf; mean_rank = !mean_rank }
+
 let normal rng =
   let rec draw () =
     let u = Rng.float rng in
@@ -85,6 +107,15 @@ let rec sample d rng =
       in
       sample (pick 0. parts) rng
   | Shifted (off, d) -> off +. sample d rng
+  | Zipf { cdf; _ } ->
+      let u = Rng.float rng in
+      (* Smallest rank whose cumulative mass covers u. *)
+      let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) < u then lo := mid + 1 else hi := mid
+      done;
+      float_of_int !lo
 
 let rec mean = function
   | Constant x -> x
@@ -98,3 +129,4 @@ let rec mean = function
       let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. parts in
       List.fold_left (fun acc (w, d) -> acc +. (w /. total *. mean d)) 0. parts
   | Shifted (off, d) -> off +. mean d
+  | Zipf { mean_rank; _ } -> mean_rank

@@ -35,6 +35,13 @@ val mixture : (float * t) list -> t
 val shifted : float -> t -> t
 (** Adds a constant offset to each sample (e.g. a fixed protocol cost). *)
 
+val zipf : s:float -> n:int -> t
+(** Zipf popularity over ranks [0 .. n-1]: rank [r] is drawn with
+    probability proportional to [(r+1)^-s]. Samples are integral ranks
+    returned as floats; [s = 0] is uniform, [s ~ 1] the classic skew of
+    cache/key-popularity traces. Construction is O(n) (a cumulative
+    table), sampling O(log n) — build once, share the value. *)
+
 val sample : t -> Rng.t -> float
 
 val mean : t -> float

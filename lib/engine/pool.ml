@@ -44,9 +44,17 @@ let shutting_down = ref false
 let workers : unit Domain.t list ref = ref []
 let worker_count = ref 0
 
-(* Workers must never recursively wait on the pool: a [map] issued from
-   inside a job runs sequentially instead. *)
-let in_worker = Domain.DLS.new_key (fun () -> false)
+(* Re-entrancy guard. The pool admits exactly one batch at a time, and
+   the caller participates in its own batch while holding [map_lock] —
+   so a [map] issued from *inside a job* (worker or caller domain alike)
+   must never reach the locks: it would either stall the batch it is
+   part of or self-deadlock on [map_lock]. Such nested calls run
+   sequentially in the calling domain instead, which is both loud-free
+   and deterministic: a Cluster stepping its machines on the pool inside
+   an experiment sweep degrades to sequential machine execution rather
+   than deadlocking. The flag is set for the lifetime of a worker domain
+   and scoped around the caller's own participation. *)
+let in_pool_job = Domain.DLS.new_key (fun () -> false)
 
 let run_jobs b =
   let rec go () =
@@ -69,7 +77,7 @@ let run_jobs b =
   go ()
 
 let worker_loop rank =
-  Domain.DLS.set in_worker true;
+  Domain.DLS.set in_pool_job true;
   tune_gc ();
   let seen = ref 0 in
   let rec loop () =
@@ -115,7 +123,7 @@ let map ?domains f jobs =
   match jobs with
   | [] -> []
   | [ job ] -> [ f job ]
-  | jobs when domains = 1 || Domain.DLS.get in_worker -> List.map f jobs
+  | jobs when domains = 1 || Domain.DLS.get in_pool_job -> List.map f jobs
   | jobs ->
       let input = Array.of_list jobs in
       let n = Array.length input in
@@ -144,7 +152,13 @@ let map ?domains f jobs =
           incr batch_seq;
           Condition.broadcast work_cv;
           Mutex.unlock lock;
-          run_jobs b;
+          (* The caller's own jobs carry the re-entrancy flag too: a
+             nested [map] from a job that landed on the calling domain
+             would otherwise self-deadlock on [map_lock]. *)
+          Domain.DLS.set in_pool_job true;
+          Fun.protect
+            ~finally:(fun () -> Domain.DLS.set in_pool_job false)
+            (fun () -> run_jobs b);
           Mutex.lock lock;
           while Atomic.get b.completed < n do
             Condition.wait done_cv lock

@@ -30,6 +30,14 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     to [List.map]. Workers pull job indices from a shared queue, so an
     expensive job does not hold up the rest of the list. The first
     exception any job raises is re-raised in the caller (remaining jobs
-    may be skipped). Calls from inside a worker run sequentially rather
-    than deadlocking the pool; concurrent [map] calls from distinct
-    domains serialize. *)
+    may be skipped). Concurrent [map] calls from distinct domains
+    serialize.
+
+    {b Nested use}: a [map] issued from inside a pool job — whether the
+    job landed on a worker domain or on the calling domain itself — runs
+    sequentially in that domain, never touching the pool's locks. The
+    pool admits one batch at a time and the caller participates while
+    holding its lock, so a nested parallel batch would deadlock; the
+    sequential fallback makes nesting safe and deterministic instead
+    (e.g. a Cluster stepping machines on the pool from inside an
+    experiment sweep). This is covered by a regression test. *)

@@ -1,0 +1,206 @@
+(* The fleet experiment: N VESSEL backend machines behind a frontend
+   load balancer, one Cluster under one clock. Three fleet conditions —
+   Zipf key skew alone, a hot-spotted (half-size) machine, and a rolling
+   restart across the fleet — crossed with the three routing policies.
+   Each condition runs on its own cluster; machines within a run fan one
+   domain each across the persistent pool (-j), byte-identically. *)
+
+module Sim = Vessel_engine.Sim
+module Cluster = Vessel_cluster.Cluster
+module S = Vessel_sched
+module W = Vessel_workloads
+module Stats = Vessel_stats
+
+type scenario = Skew | Hotspot | Restart
+
+let scenario_name = function
+  | Skew -> "skew"
+  | Hotspot -> "hotspot"
+  | Restart -> "restart"
+
+let all_scenarios = [ Skew; Hotspot; Restart ]
+
+type row = {
+  scenario : scenario;
+  policy : W.Frontend.policy;
+  offered : int;
+  served : int;
+  dropped : int;
+  p50_us : float;
+  p99_us : float;
+  worst_p99_us : float; (* max over per-backend p99s *)
+  imbalance : float; (* max/min in-window served per backend *)
+}
+
+type shard = { shard : int; cores : int; served : int; p50_us : float; p99_us : float }
+
+let pct h p = float_of_int (Stats.Histogram.percentile h p) /. 1e3
+
+let measure ~seed ~backends ~cores ~lookahead ~warmup ~duration ~load ~policy
+    ~scenario =
+  let machines = backends + 1 in
+  let cluster = Cluster.create ~seed ~machines ~lookahead () in
+  (* Hotspot: backend 0 loses half its cores — a degraded or
+     thermally-throttled machine the router cannot see directly. *)
+  let cores_of i =
+    if scenario = Hotspot && i = 0 then max 1 (cores / 2) else cores
+  in
+  let builds =
+    List.init backends (fun i ->
+        let b =
+          Runner.build
+            ~sim:(Cluster.sim cluster (i + 1))
+            ~cores:(cores_of i) Runner.Vessel
+        in
+        (i, b))
+  in
+  let fe =
+    W.Frontend.create ~cluster ~frontend:0 ~policy
+      ~service:W.Memcached.service_dist ~workers:cores
+      ~backends:(List.map (fun (i, b) -> (i + 1, b.Runner.sys)) builds)
+      ()
+  in
+  (* Offered load is a fraction of the fleet's NOMINAL capacity — the
+     hotspot run keeps the same aggregate rate, so the router either
+     routes around the slow machine or eats its queueing. *)
+  let rate_rps =
+    load
+    *. float_of_int (backends * cores)
+    /. W.Memcached.mean_service_ns *. 1e9
+  in
+  let horizon = warmup + duration in
+  List.iter (fun (_, b) -> b.Runner.sys.S.Sched_intf.start ()) builds;
+  W.Frontend.start fe ~rate_rps ~until:horizon;
+  if scenario = Restart then begin
+    (* Roll every backend once inside the window: machine i is out of
+       rotation (draining, then back) for one slot of the schedule. *)
+    let gap = duration / backends in
+    W.Frontend.schedule_rolling_restart fe ~start:warmup ~gap
+      ~down_for:(gap / 2)
+  end;
+  Cluster.run_until ~domains:(Runner.domains ()) cluster warmup;
+  W.Frontend.open_window fe ~at:warmup;
+  Cluster.run_until ~domains:(Runner.domains ()) cluster horizon;
+  List.iter (fun (_, b) -> b.Runner.sys.S.Sched_intf.stop ()) builds;
+  let worst_p99 = ref 0. in
+  let smin = ref max_int and smax = ref 0 in
+  for i = 0 to backends - 1 do
+    let h = W.Frontend.backend_latencies fe i in
+    if Stats.Histogram.count h > 0 then
+      worst_p99 := Float.max !worst_p99 (pct h 99.);
+    let s = W.Frontend.served_by fe i in
+    smin := min !smin s;
+    smax := max !smax s
+  done;
+  let agg = W.Frontend.latencies fe in
+  let row =
+    {
+      scenario;
+      policy;
+      offered = W.Frontend.offered fe;
+      served = W.Frontend.served fe;
+      dropped = W.Frontend.dropped fe;
+      p50_us = pct agg 50.;
+      p99_us = pct agg 99.;
+      worst_p99_us = !worst_p99;
+      imbalance =
+        (if !smin <= 0 then Float.infinity
+         else float_of_int !smax /. float_of_int !smin);
+    }
+  in
+  let shards =
+    List.map
+      (fun (i, _) ->
+        let h = W.Frontend.backend_latencies fe i in
+        {
+          shard = i;
+          cores = cores_of i;
+          served = W.Frontend.served_by fe i;
+          p50_us = pct h 50.;
+          p99_us = pct h 99.;
+        })
+      builds
+  in
+  (row, shards)
+
+let run ?(seed = 42) ?(backends = 8) ?(cores = 2) ?(lookahead = 20_000)
+    ?(warmup = 2_000_000) ?(duration = 10_000_000) ?(load = 0.55)
+    ?(policies = W.Frontend.all_policies) ?(scenarios = all_scenarios) () =
+  let points =
+    List.concat_map
+      (fun scenario ->
+        List.map (fun policy -> (scenario, policy)) policies)
+      scenarios
+  in
+  (* One cluster per point, run sequentially: the -j budget goes to the
+     one-domain-per-machine fan-out INSIDE each cluster (measure passes
+     Runner.domains () to Cluster.run_until), which is where a fleet
+     run's wall-clock actually lives. *)
+  List.map
+    (fun (scenario, policy) ->
+      measure ~seed ~backends ~cores ~lookahead ~warmup ~duration ~load
+        ~policy ~scenario)
+    points
+
+let print results =
+  Report.section
+    "Fleet: machines under one clock behind a load balancer (fleet)";
+  Report.paper_note
+    "beyond the paper: conservative-lookahead cluster of VESSEL machines; \
+     Zipf-skewed open-loop clients routed by rr/ll/ch policies";
+  let t =
+    Stats.Table.create
+      ~columns:
+        [
+          "scenario";
+          "policy";
+          "offered";
+          "served";
+          "drop";
+          "p50";
+          "p99";
+          "worst-shard p99";
+          "imbalance";
+        ]
+  in
+  List.iter
+    (fun (r, _) ->
+      Stats.Table.add_row t
+        [
+          scenario_name r.scenario;
+          W.Frontend.policy_name r.policy;
+          string_of_int r.offered;
+          string_of_int r.served;
+          string_of_int r.dropped;
+          Report.us r.p50_us;
+          Report.us r.p99_us;
+          Report.us r.worst_p99_us;
+          (if Float.is_finite r.imbalance then Report.f2 r.imbalance
+           else "inf");
+        ])
+    results;
+  Report.table t;
+  (* Shard detail for the run where placement is key-determined: skew
+     lands on consistent hashing as hot shards, visible per machine. *)
+  List.iter
+    (fun (r, shards) ->
+      if r.scenario = Skew && r.policy = W.Frontend.Consistent_hash then begin
+        Report.kv "per-shard (skew, consistent-hash)" "";
+        let st =
+          Stats.Table.create
+            ~columns:[ "shard"; "cores"; "served"; "p50"; "p99" ]
+        in
+        List.iter
+          (fun s ->
+            Stats.Table.add_row st
+              [
+                string_of_int s.shard;
+                string_of_int s.cores;
+                string_of_int s.served;
+                Report.us s.p50_us;
+                Report.us s.p99_us;
+              ])
+          shards;
+        Report.table st
+      end)
+    results

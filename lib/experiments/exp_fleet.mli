@@ -1,0 +1,57 @@
+(** The fleet experiment: N VESSEL backend machines behind a
+    frontend/load-balancer in one {!Vessel_cluster.Cluster}, Zipf-skewed
+    open-loop clients, three fleet conditions x three routing policies.
+
+    Beyond the paper: the paper evaluates one machine; this scales the
+    reproduced VESSEL scheduler to a fleet under one simulated clock
+    (conservative lookahead sync) and reports what operators of such
+    fleets watch — aggregate and worst-shard tail latency, shard
+    imbalance, and behavior through a rolling restart. Results are
+    byte-identical at any [-j]; parallelism fans machines of each
+    cluster across domains. *)
+
+type scenario =
+  | Skew  (** Zipf key popularity only *)
+  | Hotspot  (** backend 0 has half its cores — degraded hardware *)
+  | Restart  (** every backend drains + returns once, in index order *)
+
+val scenario_name : scenario -> string
+val all_scenarios : scenario list
+
+type row = {
+  scenario : scenario;
+  policy : Vessel_workloads.Frontend.policy;
+  offered : int;
+  served : int;
+  dropped : int;
+  p50_us : float;
+  p99_us : float;
+  worst_p99_us : float;  (** max over per-backend p99s *)
+  imbalance : float;  (** max/min in-window served per backend *)
+}
+
+type shard = {
+  shard : int;
+  cores : int;
+  served : int;
+  p50_us : float;
+  p99_us : float;
+}
+
+val run :
+  ?seed:int ->
+  ?backends:int ->
+  ?cores:int ->
+  ?lookahead:int ->
+  ?warmup:int ->
+  ?duration:int ->
+  ?load:float ->
+  ?policies:Vessel_workloads.Frontend.policy list ->
+  ?scenarios:scenario list ->
+  unit ->
+  (row * shard list) list
+(** Defaults: 8 backends x 2 cores + 1 frontend machine, 20 us
+    lookahead, 2 ms warmup + 10 ms window, offered load 0.55 of nominal
+    fleet capacity. *)
+
+val print : (row * shard list) list -> unit

@@ -60,9 +60,11 @@ type built = {
   baseline : S.Baseline.t option;
 }
 
-let build ?(seed = 42) ?cost ?vessel_params ?(profile_tweak = Fun.id) ~cores
-    kind =
-  let sim = Sim.create ~seed () in
+let build ?(seed = 42) ?sim ?cost ?vessel_params ?(profile_tweak = Fun.id)
+    ~cores kind =
+  let sim =
+    match sim with Some s -> s | None -> Sim.create ~seed ()
+  in
   let machine = Hw.Machine.create ?cost ~cores sim in
   match kind with
   | Vessel ->

@@ -49,12 +49,16 @@ type built = {
 
 val build :
   ?seed:int ->
+  ?sim:Vessel_engine.Sim.t ->
   ?cost:Vessel_hw.Cost_model.t ->
   ?vessel_params:Vessel_sched.Vessel.params ->
   ?profile_tweak:(Vessel_sched.Baseline.profile -> Vessel_sched.Baseline.profile) ->
   cores:int ->
   sched_kind ->
   built
+(** [sim] supplies an existing simulation to build the machine into —
+    the fleet uses this to place one machine on each member of a
+    {!Vessel_cluster.Cluster.t}; [seed] is ignored when [sim] is given. *)
 
 type l_app = Memcached | Silo
 

@@ -60,16 +60,33 @@ let fork_point () : fork =
       parent.seq <- seq + 1;
       parent.key @ [ seq ]
 
-let with_child fork ~index f =
+let enter_unit u f =
   let saved = Domain.DLS.get cur_key in
   let saved_sink = Probe.current_sink () in
   let saved_reg = Probe.current_reg () in
-  install_unit (new_unit (fork @ [ index ]));
+  install_unit u;
   Fun.protect
     ~finally:(fun () ->
       Domain.DLS.set cur_key saved;
       Probe.install ~sink:saved_sink ~reg:saved_reg)
     f
+
+let with_child fork ~index f = enter_unit (new_unit (fork @ [ index ])) f
+
+(* Persistent children: one unit entered many times. A sweep point is a
+   single stretch of work, but a cluster machine is revisited every
+   lockstep epoch — its trace and metrics must accumulate in ONE unit
+   (keyed by creation structure, so the merge stays byte-identical at
+   any -j) rather than minting epochs x machines units. The caller must
+   guarantee at most one domain is inside a given child at a time; the
+   cluster's epoch barrier provides exactly that. *)
+type child = unit_entry option
+
+let child fork ~index : child =
+  if active () then Some (new_unit (fork @ [ index ])) else None
+
+let with_unit (c : child) f =
+  match c with None -> f () | Some u -> enter_unit u f
 
 let sorted_units () =
   Mutex.lock mu;

@@ -27,6 +27,22 @@ val with_child : fork -> index:int -> (unit -> 'a) -> 'a
     inside a fresh child unit keyed [fork @ [index]]; restores the
     domain's previous unit on exit. *)
 
+type child
+(** A persistent child unit: created once, re-entered many times. Used
+    where one logical simulation instance (a cluster machine) is
+    revisited across many stretches of work (lockstep epochs) and its
+    events must accumulate in a single unit. *)
+
+val child : fork -> index:int -> child
+(** Create the unit keyed [fork @ [index]] eagerly (a no-op handle when
+    the collector is inactive). *)
+
+val with_unit : child -> (unit -> 'a) -> 'a
+(** Run [f] inside the child's unit, restoring the domain's previous
+    unit on exit. May be called repeatedly and from different domains
+    over time, but never concurrently for the same child — the cluster's
+    epoch barrier guarantees this. *)
+
 val events : unit -> Event.t list
 (** All collected trace events, merged in sorted unit order. *)
 

@@ -48,6 +48,10 @@ let iok_grant = "iokernel.grant"
 let iok_preempt = "iokernel.preempt"
 let iok_release = "iokernel.release"
 
+(* cluster (lockstep sync + cross-machine delivery; causality checking) *)
+let cluster_epoch = "cluster.epoch"
+let cluster_deliver = "cluster.deliver"
+
 (* engine *)
 let sim_events = "engine.events"
 let eq_pool_entries = "engine.queue.pool.entries"

@@ -5,27 +5,80 @@ module U = Vessel_uprocess
 module S = Vessel_sched
 module Stats = Vessel_stats
 
+(* The Poisson arrival chain, on its own so other client models (the
+   fleet load balancer) can reuse it against any sink. The chain borrows
+   the caller's RNG stream rather than splitting its own: the classic
+   open-loop generator interleaves gap draws and service draws on one
+   stream, and that interleaving is part of the repo's locked-down
+   deterministic output. *)
+module Arrivals = struct
+  type t = {
+    sim : Sim.t;
+    rng : Rng.t; (* borrowed; gap draws interleave with the owner's draws *)
+    fire : now:int -> unit;
+    mutable until : int;
+    mutable gap_dist : Dist.t;
+        (* exponential with mean [1e9 /. rate_rps], rebuilt in [start] so
+           the per-arrival path allocates no distribution *)
+    mutable epoch : int; (* invalidates stale chains on rate change *)
+    mutable tag : int;
+  }
+
+  let rec chain t ~epoch =
+    if epoch = t.epoch && Sim.now t.sim < t.until then begin
+      t.fire ~now:(Sim.now t.sim);
+      schedule_next t ~epoch
+    end
+
+  and schedule_next t ~epoch =
+    let gap =
+      max 1 (int_of_float (Float.round (Dist.sample t.gap_dist t.rng)))
+    in
+    if Sim.now t.sim + gap < t.until then
+      ignore
+        (Sim.schedule_tagged_after t.sim ~delay:gap ~tag:t.tag ~a:epoch ~b:0)
+
+  let create ~sim ~rng ~fire =
+    let t =
+      {
+        sim;
+        rng;
+        fire;
+        until = 0;
+        gap_dist = Dist.constant 0.;
+        epoch = 0;
+        tag = -1;
+      }
+    in
+    t.tag <- Sim.register_handler sim (fun epoch _ -> chain t ~epoch);
+    t
+
+  let start t ~rate_rps ~until =
+    if rate_rps <= 0. then
+      invalid_arg "Openloop.Arrivals.start: rate must be positive";
+    t.epoch <- t.epoch + 1;
+    t.gap_dist <- Dist.exponential ~mean:(1e9 /. rate_rps);
+    t.until <- until;
+    schedule_next t ~epoch:t.epoch
+
+  let stop t = t.epoch <- t.epoch + 1
+end
+
 type t = {
   sim : Sim.t;
   sys : S.Sched_intf.system;
   app_id : int;
   service : Dist.t;
-  rng : Rng.t;
+  rng : Rng.t; (* shared with [arrivals]: one stream, interleaved draws *)
+  arrivals : Arrivals.t;
   requests : int Queue.t; (* arrival timestamps *)
   latencies : Stats.Histogram.t;
   mutable window_start : int;
   mutable offered : int;
   mutable served : int;
-  mutable arrivals_until : int;
-  mutable rate_rps : float;
-  mutable gap_dist : Dist.t;
-      (* exponential with mean [1e9 /. rate_rps], rebuilt in [start] so
-         the per-arrival path allocates no distribution *)
-  mutable epoch : int; (* invalidates stale arrival chains on rate change *)
   mutable ingress : (now:int -> int) option;
-  (* Sim dispatch tags for the arrival chain and ingress-delayed delivery,
-     registered in [create]; the steady-state arrival path is closure-free. *)
-  mutable arrival_tag : int;
+  (* Sim dispatch tag for ingress-delayed delivery, registered in
+     [create]; the steady-state arrival path is closure-free. *)
   mutable deliver_tag : int;
 }
 
@@ -80,45 +133,34 @@ let inject t =
 
 let set_ingress t f = t.ingress <- Some f
 
-let rec arrival_chain t ~epoch =
-  if epoch = t.epoch && Sim.now t.sim < t.arrivals_until then begin
-    inject t;
-    schedule_next t ~epoch
-  end
-
-and schedule_next t ~epoch =
-  let gap =
-    max 1 (int_of_float (Float.round (Dist.sample t.gap_dist t.rng)))
-  in
-  if Sim.now t.sim + gap < t.arrivals_until then
-    ignore
-      (Sim.schedule_tagged_after t.sim ~delay:gap ~tag:t.arrival_tag ~a:epoch
-         ~b:0)
-
 let create ~sim ~sys ~app_id ~service =
+  let rng = Rng.split (Sim.rng sim) in
+  (* Tie the knot: the arrival chain registers its dispatch tag first
+     (before deliver_tag) to keep tag assignment — and with it every
+     locked-down experiment output — identical to the pre-Arrivals
+     layout. *)
+  let fire_ref = ref (fun ~now:_ -> ()) in
+  let arrivals =
+    Arrivals.create ~sim ~rng ~fire:(fun ~now -> !fire_ref ~now)
+  in
   let t =
     {
       sim;
       sys;
       app_id;
       service;
-      rng = Rng.split (Sim.rng sim);
+      rng;
+      arrivals;
       requests = Queue.create ();
       latencies = Stats.Histogram.create ();
       window_start = 0;
       offered = 0;
       served = 0;
-      arrivals_until = 0;
-      rate_rps = 0.;
-      gap_dist = Dist.constant 0.;
-      epoch = 0;
       ingress = None;
-      arrival_tag = -1;
       deliver_tag = -1;
     }
   in
-  t.arrival_tag <-
-    Sim.register_handler sim (fun epoch _ -> arrival_chain t ~epoch);
+  fire_ref := (fun ~now:_ -> inject t);
   t.deliver_tag <-
     (* The arrival stamp rides the wide [b] word: it is a timestamp,
        far past the 16-bit [a] range. *)
@@ -127,13 +169,9 @@ let create ~sim ~sys ~app_id ~service =
 
 let start t ~rate_rps ~until =
   if rate_rps <= 0. then invalid_arg "Openloop.start: rate must be positive";
-  t.epoch <- t.epoch + 1;
-  t.rate_rps <- rate_rps;
-  t.gap_dist <- Dist.exponential ~mean:(1e9 /. rate_rps);
-  t.arrivals_until <- until;
-  schedule_next t ~epoch:t.epoch
+  Arrivals.start t.arrivals ~rate_rps ~until
 
-let stop_arrivals t = t.epoch <- t.epoch + 1
+let stop_arrivals t = Arrivals.stop t.arrivals
 
 let start_bursty t ~base_rps ~burst_rps ~burst_len ~period ~until =
   if base_rps <= 0. || burst_rps <= 0. then

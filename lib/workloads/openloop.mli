@@ -11,6 +11,29 @@
     requests arriving at or after [warmup] (set via {!open_window}), so
     start-up transients don't pollute the numbers. *)
 
+(** The bare Poisson arrival chain, reusable by other client models (the
+    fleet load balancer drives one per frontend). The chain {e borrows}
+    the caller's RNG stream — gap draws interleave with whatever else the
+    caller draws, exactly as the integrated generator below does — and
+    fires a callback at each arrival instant via the closure-free tagged
+    event path. Register-order warning: [create] registers a dispatch
+    tag, so call it at component-setup time only. *)
+module Arrivals : sig
+  type t
+
+  val create :
+    sim:Vessel_engine.Sim.t ->
+    rng:Vessel_engine.Rng.t ->
+    fire:(now:Vessel_engine.Time.t -> unit) ->
+    t
+
+  val start : t -> rate_rps:float -> until:Vessel_engine.Time.t -> unit
+  (** Begin Poisson arrivals at [rate_rps] until the given simulated
+      time; callable again to change the rate (stale chains die). *)
+
+  val stop : t -> unit
+end
+
 type t
 
 val create :

@@ -12,7 +12,10 @@ Only rows present in BOTH files are compared, so a --quick current run
 gates only the quick subset against the full-suite baseline, and the
 aggregate suite row is compared only when both records carry one with
 the same experiment set (a quick aggregate vs a full-suite aggregate
-would be apples to oranges).
+would be apples to oranges). Rows the baseline has never seen (a
+just-added experiment or queue point) are reported as "(new,
+informational)" and never gate; refresh the baseline to start gating
+them.
 
 Usage: bench_compare.py BASELINE CURRENT [--tolerance PCT] [--warn-only]
 """
@@ -65,6 +68,7 @@ def main():
 
     regressions = []
     improvements = 0
+    new_rows = 0
 
     base_exp = {e["name"]: e for e in base.get("experiments", [])}
     cur_names = {e["name"] for e in cur.get("experiments", [])}
@@ -72,7 +76,14 @@ def main():
     for e in cur.get("experiments", []):
         b = base_exp.get(e["name"])
         if b is None or b.get("events_per_sec", 0) == 0:
-            print(f"{e['name']:<12} {'-':>12} {e['events_per_sec']:>12.0f}")
+            # A row the baseline has never seen: a just-added experiment.
+            # Report it so the trajectory starts now, but never gate on
+            # it — there is nothing to regress from.
+            new_rows += 1
+            print(
+                f"{e['name']:<12} {'-':>12} {e['events_per_sec']:>12.0f} "
+                f"{'':>8} (new, informational)"
+            )
             continue
         d = pct(e["events_per_sec"], b["events_per_sec"])
         # Sub-50ms experiments sit at wall-clock resolution: their
@@ -124,7 +135,11 @@ def main():
         name = f"{q['backend']} pending={q['pending']}"
         b = base_q.get(key)
         if b is None or b.get("ns_per_op", 0) == 0:
-            print(f"{name:<22} {'-':>11} {q['ns_per_op']:>11.1f}")
+            new_rows += 1
+            print(
+                f"{name:<22} {'-':>11} {q['ns_per_op']:>11.1f} "
+                f"{'':>8} (new, informational)"
+            )
             continue
         d = pct(q["ns_per_op"], b["ns_per_op"])  # higher ns/op = slower
         flag = ""
@@ -140,6 +155,11 @@ def main():
         )
 
     print()
+    if new_rows:
+        print(
+            f"bench_compare: {new_rows} new row(s) absent from baseline "
+            "(informational only; refresh the baseline to start gating them)"
+        )
     if improvements:
         print(f"bench_compare: {improvements} point(s) faster than baseline")
     if regressions:

@@ -14,15 +14,16 @@ The `list` subcommand names every experiment, one per line:
   ablation   Ablations: switch-cost sweep, mechanism vs policy
   check      Fault-injection sweep with runtime invariant checking
   burst      Burst absorption under us-scale load spikes
+  fleet      Fleet: machines under one clock behind a load balancer
   all        Every table and figure
 
   $ vessel-sim --version
-  1.2.0
+  1.3.0
 
 Unknown experiments exit 2:
 
   $ vessel-sim nosuch
-  vessel-sim: unknown command 'nosuch', must be one of 'ablation', 'all', 'burst', 'check', 'fig1', 'fig10', 'fig11', 'fig12', 'fig13a', 'fig13b', 'fig2', 'fig3', 'fig9', 'list' or 'table1'.
+  vessel-sim: unknown command 'nosuch', must be one of 'ablation', 'all', 'burst', 'check', 'fig1', 'fig10', 'fig11', 'fig12', 'fig13a', 'fig13b', 'fig2', 'fig3', 'fig9', 'fleet', 'list' or 'table1'.
   Usage: vessel-sim COMMAND …
   Try 'vessel-sim --help' for more information.
   [2]
