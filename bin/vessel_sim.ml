@@ -7,7 +7,7 @@
 open Cmdliner
 open Vessel_experiments
 
-let version = "1.3.0"
+let version = "1.4.0"
 
 let seed =
   let doc = "Root RNG seed; every run is deterministic given the seed." in
@@ -39,24 +39,36 @@ let metrics_file =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let attrib_file =
+  let doc =
+    "Write a JSON latency-attribution artifact ($(b,vessel-attrib-1) \
+     schema) to $(docv) and print a p99 blame report: each request's \
+     end-to-end latency decomposed into ingress, network, run-queue, \
+     service, scheduling and epoch-barrier phases. Output is \
+     byte-identical at any -j N."
+  in
+  Arg.(value & opt (some string) None & info [ "attrib" ] ~docv:"FILE" ~doc)
+
 (* Output files are written after the command returns (see the bottom of
    this file), so the flags only stash the paths and flip the probes on. *)
 let trace_out = ref None
 let metrics_out = ref None
+let attrib_out = ref None
 
 (* Applied before every command: fan sweeps out across domains and arm
    the observability collector. *)
 let with_common run =
   Term.(
-    const (fun j trace metrics ->
+    const (fun j trace metrics attrib ->
         Runner.set_domains j;
         trace_out := trace;
         metrics_out := metrics;
-        if trace <> None || metrics <> None then
+        attrib_out := attrib;
+        if trace <> None || metrics <> None || attrib <> None then
           Vessel_obs.Collector.configure ~trace:(trace <> None)
-            ~metrics:(metrics <> None) ();
+            ~metrics:(metrics <> None) ~attrib:(attrib <> None) ();
         run)
-    $ jobs $ trace_file $ metrics_file)
+    $ jobs $ trace_file $ metrics_file $ attrib_file)
 
 let cores =
   let doc = "Worker cores for the colocation experiments." in
@@ -239,21 +251,30 @@ let command_table =
 let run_list () =
   List.iter
     (fun (name, doc, _) -> Printf.printf "%-10s %s\n" name doc)
-    command_table
+    command_table;
+  print_string
+    "\nEvery experiment also accepts --trace FILE, --metrics FILE and \
+     --attrib FILE.\n"
 
 let cmds =
   Cmd.v
     (Cmd.info "list" ~version
        ~doc:"Print every experiment id with a one-line description")
-    Term.(const run_list $ const ())
+    Term.(with_common run_list $ const ())
   :: List.map
        (fun (name, doc, term) -> Cmd.v (Cmd.info name ~version ~doc) term)
        command_table
 
+(* Artifact writes happen after a successful run; an unwritable path is
+   a usage error (exit 2), reported like cmdliner's own. *)
 let write_file path writer =
-  let oc = open_out path in
-  writer (output_string oc);
-  close_out oc
+  match open_out path with
+  | exception Sys_error msg ->
+      Printf.eprintf "vessel-sim: %s\n" msg;
+      exit 2
+  | oc ->
+      writer (output_string oc);
+      close_out oc
 
 let () =
   (* Simulations churn through short-lived events; a larger minor heap
@@ -277,6 +298,11 @@ let () =
       !trace_out;
     Option.iter
       (fun f -> write_file f Vessel_obs.Collector.write_metrics)
-      !metrics_out
+      !metrics_out;
+    Option.iter
+      (fun f ->
+        Vessel_obs.Attrib.report print_string;
+        write_file f Vessel_obs.Attrib.write)
+      !attrib_out
   end;
   exit (if code = 0 && !check_failed then 1 else code)

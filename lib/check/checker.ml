@@ -312,7 +312,7 @@ let handle t ev =
   (match ev with
   | Event.Instant { ts; track; name; args } -> on_instant t ~ts ~track ~name ~args
   | Event.Process _ | Event.Span_begin _ | Event.Span_end _ | Event.Counter _
-    ->
+  | Event.Flow _ ->
       ());
   if t.now - t.last_scan >= t.scan_every then begin
     t.last_scan <- t.now;

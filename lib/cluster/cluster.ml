@@ -35,6 +35,10 @@ type t = {
   (* Barrier-time flushers, registered by Net.link. Stored reversed;
      run in creation order. *)
   mutable flushers : (until:int -> unit) list;
+  (* Attribution sink: machine id = lane, recorder installed around
+     every machine scope so request stamps land in per-machine buffers
+     (single writer per lane, serialized by the epoch barrier). *)
+  mutable attrib : Obs.Attrib.t option;
 }
 
 let create ?(seed = 42) ?machine_seeds ~machines ~lookahead () =
@@ -57,7 +61,15 @@ let create ?(seed = 42) ?machine_seeds ~machines ~lookahead () =
     Array.init machines (fun id ->
         { id; m_sim = Sim.create ~seed:seeds.(id) (); m_seed = seeds.(id); marked = false })
   in
-  { ms; la = lookahead; barrier = 0; n_epochs = 0; scope = None; flushers = [] }
+  {
+    ms;
+    la = lookahead;
+    barrier = 0;
+    n_epochs = 0;
+    scope = None;
+    flushers = [];
+    attrib = None;
+  }
 
 let machines t = Array.length t.ms
 
@@ -83,6 +95,12 @@ let set_scope t scope =
   t.scope <- Some scope
 
 let register_flusher t fl = t.flushers <- fl :: t.flushers
+let set_attrib t a = t.attrib <- Some a
+
+let with_lane t m f =
+  match t.attrib with
+  | Some a -> Obs.Attrib.with_lane a ~lane:m f
+  | None -> f ()
 
 (* Default scope: one persistent collector child unit per machine when
    --trace/--metrics is live, so every machine's events accumulate in a
@@ -108,6 +126,7 @@ let ensure_scope t =
 
 let run_machine t scope epoch_end m =
   scope m.id (fun () ->
+      with_lane t m.id @@ fun () ->
       if !Obs.Probe.on then begin
         if not m.marked then begin
           m.marked <- true;
@@ -144,4 +163,4 @@ let run_until ?(domains = 1) t horizon =
 
 let scoped t m f =
   check_id t m;
-  (ensure_scope t) m f
+  (ensure_scope t) m (fun () -> with_lane t m f)

@@ -55,6 +55,14 @@ val set_scope : t -> (int -> (unit -> unit) -> unit) -> unit
     [--metrics] are collected per machine and merge byte-identically at
     any [-j]. Call before the first {!run_until}. *)
 
+val set_attrib : t -> Vessel_obs.Attrib.t -> unit
+(** Attach a latency-attribution instance: every machine's epoch
+    execution (and its inbound {!Net} delivery handlers) runs with that
+    machine's lane recorder installed, so request stamps land in
+    per-machine buffers with a single writer per lane. The instance
+    should be created with [lanes = machines]. Call before the first
+    {!run_until}. *)
+
 val run_until : ?domains:int -> t -> Vessel_engine.Time.t -> unit
 (** Advance every machine to [horizon] in epochs of at most [lookahead],
     flushing cross-machine messages at each barrier. [domains] (default

@@ -11,6 +11,9 @@ type 'a t = {
   cluster : Cluster.t;
   lat : int;
   name : string;
+  (* Maps a payload to a request-flow id (0 = none): deliveries then emit
+     Perfetto flow steps so cross-machine causality renders as arrows. *)
+  flow_of : ('a -> int) option;
   (* Per-destination receive handlers, installed at setup time. *)
   recv : (now:int -> src:int -> 'a -> unit) option array;
   (* Per-source outboxes, newest first. During a parallel epoch each
@@ -42,7 +45,7 @@ let deliver t ~until src m =
      reflects whether some OTHER domain happens to be inside a scope —
      gating on it here would make emission depend on -j. *)
   Cluster.scoped t.cluster m.dst (fun () ->
-      if !Obs.Probe.on then
+      if !Obs.Probe.on then begin
         Obs.Probe.instant ~ts:until ~track:Obs.Track.Engine
           ~name:Obs.Tag.cluster_deliver
           ~args:
@@ -52,7 +55,15 @@ let deliver t ~until src m =
               ("sent", Obs.Event.Int m.sent_at);
               ("arrival", Obs.Event.Int arrival);
             ]
-          ());
+          ();
+        match t.flow_of with
+        | Some f ->
+            let id = f m.payload in
+            if id > 0 then
+              Obs.Probe.flow ~ts:until ~track:Obs.Track.Engine
+                ~name:Obs.Tag.req_flow ~id ~dir:Obs.Event.Flow_step
+        | None -> ()
+      end);
   let payload = m.payload in
   ignore
     (Sim.schedule
@@ -69,7 +80,7 @@ let flush t ~until =
         List.iter (deliver t ~until src) (List.rev msgs)
   done
 
-let link ?(name = "link") ?latency cluster =
+let link ?(name = "link") ?latency ?flow_of cluster =
   let la = Cluster.lookahead cluster in
   let lat = Option.value latency ~default:la in
   if lat < la then
@@ -83,6 +94,7 @@ let link ?(name = "link") ?latency cluster =
       cluster;
       lat;
       name;
+      flow_of;
       recv = Array.make n None;
       outbox = Array.make n [];
       n_sent = Array.make n 0;

@@ -15,11 +15,15 @@ type 'a t
 val link :
   ?name:string ->
   ?latency:Vessel_engine.Time.t ->
+  ?flow_of:('a -> int) ->
   Cluster.t ->
   'a t
 (** A link spanning all machines of the cluster. [latency] defaults to
     the cluster lookahead and must be at least it ([Invalid_argument]
-    otherwise — a shorter latency would break causality). *)
+    otherwise — a shorter latency would break causality). [flow_of]
+    maps a payload to a request-flow id (0 = none); when tracing is on,
+    each delivery then emits a Perfetto flow step with that id, so
+    cross-machine request causality renders as arrows in the viewer. *)
 
 val latency : 'a t -> Vessel_engine.Time.t
 

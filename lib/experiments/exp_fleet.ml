@@ -60,6 +60,17 @@ let measure ~seed ~backends ~cores ~lookahead ~warmup ~duration ~load ~policy
       ~backends:(List.map (fun (i, b) -> (i + 1, b.Runner.sys)) builds)
       ()
   in
+  (* Latency attribution: one lane per machine; request links use the
+     cluster lookahead as their one-way latency, so gaps above it are
+     epoch-barrier residue. Points run sequentially, so instance order
+     (and the merged report) is deterministic at any -j. *)
+  if Vessel_obs.Request.active () then
+    Cluster.set_attrib cluster
+      (Vessel_obs.Attrib.create
+         ~label:
+           (Printf.sprintf "fleet %s/%s" (scenario_name scenario)
+              (W.Frontend.policy_name policy))
+         ~lanes:machines ~hop_ns:lookahead ());
   (* Offered load is a fraction of the fleet's NOMINAL capacity — the
      hotspot run keeps the same aggregate rate, so the router either
      routes around the slow machine or eats its queueing. *)

@@ -122,12 +122,43 @@ let account_snapshot machine =
     Stats.Cycle_account.total acc Stats.Cycle_account.Kernel,
     Stats.Cycle_account.total acc Stats.Cycle_account.Idle )
 
+(* Request ids that are multiples of 2^shift, targeting <= ~64k sampled
+   requests per point: attribution stays exact per sampled request while
+   buffers stay small on the longest sweeps. *)
+let attrib_sample_shift ~rate_rps ~span_ns =
+  let expected = rate_rps *. float_of_int span_ns /. 1e9 in
+  let shift = ref 0 in
+  while expected /. float_of_int (1 lsl !shift) > 65536. do
+    incr shift
+  done;
+  !shift
+
 let run_colocation ?(seed = 42) ?(cores = 8) ?l_workers ?b_workers
     ?(warmup = 20_000_000) ?(duration = 100_000_000) ?(with_b_app = true)
     ~sched ~l_app ~rate_rps () =
   let l_workers = match l_workers with Some w -> w | None -> cores in
   let b_workers = match b_workers with Some w -> w | None -> cores in
   let b = build ~seed ~cores sched in
+  (* One attribution instance per point when --attrib is live; lane 0 is
+     the whole (single) machine. Registration keys on the collector unit,
+     so sweep fan-out cannot reorder the report. *)
+  let attrib =
+    if Vessel_obs.Request.active () then
+      Some
+        (Vessel_obs.Attrib.create
+           ~label:
+             (Printf.sprintf "%s %s %.0frps" (sched_name sched)
+                (l_app_name l_app) rate_rps)
+           ~sample_shift:
+             (attrib_sample_shift ~rate_rps ~span_ns:(warmup + duration))
+           ())
+    else None
+  in
+  (fun body ->
+    match attrib with
+    | Some a -> Vessel_obs.Attrib.with_lane a ~lane:0 body
+    | None -> body ())
+  @@ fun () ->
   let gen = make_l_app b ~l_app ~app_id:1 ~workers:l_workers in
   let lp =
     if with_b_app then Some (W.Linpack.make ~sys:b.sys ~app_id:2 ~workers:b_workers ())

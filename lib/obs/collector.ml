@@ -20,7 +20,8 @@ let units : unit_entry list ref = ref []
 let mu = Mutex.create ()
 let trace_wanted = ref false
 let metrics_wanted = ref false
-let active () = !trace_wanted || !metrics_wanted
+let attrib_wanted = ref false
+let active () = !trace_wanted || !metrics_wanted || !attrib_wanted
 
 (* The unit owning the current domain, if the collector is active. *)
 let cur_key : unit_entry option Domain.DLS.key =
@@ -41,12 +42,19 @@ let install_unit u =
     ~sink:(if !trace_wanted then Journal.sink u.journal else Sink.null)
     ~reg:(if !metrics_wanted then Some u.reg else None)
 
-let configure ?(trace = false) ?(metrics = false) () =
+let configure ?(trace = false) ?(metrics = false) ?(attrib = false) () =
   trace_wanted := trace;
   metrics_wanted := metrics;
+  attrib_wanted := attrib;
   Probe.set_trace_configured trace;
   Probe.set_metrics_configured metrics;
+  Probe.set_attrib_configured attrib;
   if active () then install_unit (new_unit [])
+
+(* The current unit's structural key — attribution instances register
+   under it so their merge order is -j-independent like everything else. *)
+let current_key () =
+  match Domain.DLS.get cur_key with None -> [] | Some u -> u.key
 
 type fork = int list
 
@@ -111,7 +119,9 @@ let reset () =
   Mutex.unlock mu;
   trace_wanted := false;
   metrics_wanted := false;
+  attrib_wanted := false;
   Probe.set_trace_configured false;
   Probe.set_metrics_configured false;
+  Probe.set_attrib_configured false;
   Domain.DLS.set cur_key None;
   Probe.install ~sink:Sink.null ~reg:None

@@ -8,13 +8,20 @@
     number + point index), never on domain scheduling, so the exported
     trace and metrics files are byte-identical at any [-j N]. *)
 
-val configure : ?trace:bool -> ?metrics:bool -> unit -> unit
+val configure : ?trace:bool -> ?metrics:bool -> ?attrib:bool -> unit -> unit
 (** Enable collection for this process and install the root unit on the
-    calling domain. Call once, before any simulation work. *)
+    calling domain. Call once, before any simulation work. [attrib]
+    enables request-level latency attribution ({!Request}/{!Attrib}). *)
 
 val active : unit -> bool
-(** True iff [configure] enabled tracing or metrics; sweeps skip the
-    forking machinery entirely when false. *)
+(** True iff [configure] enabled tracing, metrics or attribution; sweeps
+    skip the forking machinery entirely when false. *)
+
+val current_key : unit -> int list
+(** Structural key of the unit owning the calling domain ([[]] when the
+    collector is inactive or outside any unit). {!Attrib} instances
+    register under it so attribution output is byte-identical at any
+    [-j N]. *)
 
 type fork
 

@@ -88,7 +88,24 @@ let write out ~units =
                 (Printf.sprintf
                    "{\"name\": %s, \"ph\": \"C\", \"ts\": %s, \"pid\": %d, \
                     \"tid\": %d, \"args\": {\"value\": %d}}"
-                   (Json.quote name) (ts_str ts) !pid tid value))
+                   (Json.quote name) (ts_str ts) !pid tid value)
+          | Flow { ts; track; name; id; dir } ->
+              (* Chrome joins flow events sharing (cat, name, id) into an
+                 arrow chain; the terminating "f" carries bp:e so the
+                 arrow binds to the enclosing slice's end. *)
+              let tid = track_tid track in
+              let ph, extra =
+                match dir with
+                | Event.Flow_start -> ("s", "")
+                | Event.Flow_step -> ("t", "")
+                | Event.Flow_end -> ("f", ", \"bp\": \"e\"")
+              in
+              emit
+                (Printf.sprintf
+                   "{\"name\": %s, \"cat\": %s, \"ph\": \"%s\", \"id\": %d, \
+                    \"ts\": %s, \"pid\": %d, \"tid\": %d%s}"
+                   (Json.quote name) (Json.quote name) ph id (ts_str ts) !pid
+                   tid extra))
         events)
     units;
   out "\n]}\n"

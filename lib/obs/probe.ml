@@ -12,6 +12,16 @@ let state () = Domain.DLS.get state_key
 let on = ref false
 let metrics_on = ref false
 
+(* Request-attribution gate (--attrib). Independent of [on]: attribution
+   stamps bypass the sink and go straight to the per-lane recorder, so
+   enabling it must not drag full tracing in. *)
+let attrib_on = ref false
+
+(* [!on || !attrib_on], pre-combined so request-mark call sites pay one
+   load and one branch — a cross-module [Request.live ()] call would not
+   inline without flambda. Updated wherever either input flips. *)
+let req_on = ref false
+
 (* [on] is true when a trace file is configured globally or any domain is
    inside a [with_sink] scope. The scope count is atomic so concurrent
    scopes on worker domains can't lose each other's enable. *)
@@ -21,7 +31,8 @@ let local_scopes = Atomic.make 0
 
 let recompute () =
   on := !trace_configured || Atomic.get local_scopes > 0;
-  metrics_on := !metrics_configured || Atomic.get local_scopes > 0
+  metrics_on := !metrics_configured || Atomic.get local_scopes > 0;
+  req_on := !on || !attrib_on
 
 let set_trace_configured v =
   trace_configured := v;
@@ -30,6 +41,10 @@ let set_trace_configured v =
 let set_metrics_configured v =
   metrics_configured := v;
   recompute ()
+
+let set_attrib_configured v =
+  attrib_on := v;
+  req_on := !on || !attrib_on
 
 let install ~sink ~reg =
   let st = state () in
@@ -50,6 +65,8 @@ let instant ~ts ~track ~name ?(args = []) () =
 
 let counter ~ts ~track ~name ~value =
   emit (Event.Counter { ts; track; name; value })
+
+let flow ~ts ~track ~name ~id ~dir = emit (Event.Flow { ts; track; name; id; dir })
 
 let process ~name = emit (Event.Process { name })
 

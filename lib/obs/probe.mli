@@ -18,6 +18,17 @@ val on : bool ref
 val metrics_on : bool ref
 (** True when a metrics registry is live. Read it, don't write it. *)
 
+val attrib_on : bool ref
+(** True when request-level latency attribution ([--attrib]) is live.
+    Independent of {!on}: attribution stamps go to {!Request}'s per-lane
+    recorder, not the ambient sink. Read it, don't write it. *)
+
+val req_on : bool ref
+(** [!on || !attrib_on], pre-combined: request-mark hot sites read this
+    directly so the dormant guard is one load and one branch (a
+    cross-module function call would not inline without flambda). Read
+    it, don't write it. *)
+
 (** {2 Trace events} *)
 
 val span_begin :
@@ -29,6 +40,11 @@ val instant :
   ts:int -> track:Track.t -> name:string -> ?args:(string * Event.arg) list -> unit -> unit
 
 val counter : ts:int -> track:Track.t -> name:string -> value:int -> unit
+
+val flow :
+  ts:int -> track:Track.t -> name:string -> id:int -> dir:Event.flow_dir -> unit
+(** Emit one leg of a flow arrow (see {!Event.flow_dir}); legs sharing
+    [name]/[id] chain across tracks and processes. *)
 
 val process : name:string -> unit
 (** Marks the start of a new simulation instance; the Perfetto exporter
@@ -53,6 +69,7 @@ val with_sink : ?reg:Metrics.t -> Sink.t -> (unit -> 'a) -> 'a
 
 val set_trace_configured : bool -> unit
 val set_metrics_configured : bool -> unit
+val set_attrib_configured : bool -> unit
 val install : sink:Sink.t -> reg:Metrics.t option -> unit
 (** Replace the current domain's ambient sink and registry. *)
 

@@ -48,6 +48,17 @@ let iok_grant = "iokernel.grant"
 let iok_preempt = "iokernel.preempt"
 let iok_release = "iokernel.release"
 
+(* per-request pipeline transitions (latency attribution; --attrib) *)
+let req_arrive = "req.arrive"
+let req_lb = "req.lb"
+let req_enqueue = "req.enqueue"
+let req_wake = "req.wake"
+let req_dispatch = "req.dispatch"
+let req_preempt = "req.preempt"
+let req_complete = "req.complete"
+let req_done = "req.done"
+let req_flow = "req"
+
 (* cluster (lockstep sync + cross-machine delivery; causality checking) *)
 let cluster_epoch = "cluster.epoch"
 let cluster_deliver = "cluster.deliver"

@@ -6,11 +6,12 @@ module Cost_model = Hw.Cost_model
 module Probe = Vessel_obs.Probe
 module Tag = Vessel_obs.Tag
 
-let iok_instant t_now ~name ~app ~core =
+let iok_instant ?(rid = 0) t_now ~name ~app ~core =
   Probe.instant ~ts:t_now ~track:Vessel_obs.Track.Sched ~name
     ~args:
       [
         ("app", Vessel_obs.Event.Int app); ("core", Vessel_obs.Event.Int core);
+        ("rid", Vessel_obs.Event.Int rid);
       ]
     ()
 
@@ -337,7 +338,12 @@ let preempt_stages_of c =
   Cost_model.caladan_preempt_stages c
 
 let preempt_for t ~app ~core =
-  if !Probe.on then iok_instant (now t) ~name:Tag.iok_preempt ~app ~core;
+  if !Probe.on then
+    iok_instant (now t) ~name:Tag.iok_preempt ~app ~core
+      ~rid:
+        (match U.Exec.current (get_exec t) ~core with
+        | Some th -> Vessel_obs.Request.rid (U.Uthread.ctx th)
+        | None -> 0);
   if !Probe.metrics_on then Probe.incr "sched.iok.preempts";
   let c = Hw.Machine.cost t.machine in
   (match t.owner.(core) with

@@ -83,7 +83,16 @@ let send_preempt t ~core commands =
   if !Probe.on then
     Probe.instant ~ts:(sched_now t) ~track:Vessel_obs.Track.Sched
       ~name:Tag.vessel_preempt
-      ~args:[ ("core", Vessel_obs.Event.Int core) ]
+      ~args:
+        [
+          ("core", Vessel_obs.Event.Int core);
+          (* request running on the victim core, 0 when none/idle *)
+          ( "rid",
+            Vessel_obs.Event.Int
+              (match U.Runtime.current_thread t.rt ~core with
+              | Some th -> Vessel_obs.Request.rid (U.Uthread.ctx th)
+              | None -> 0) );
+        ]
       ();
   if !Probe.metrics_on then Probe.incr "sched.vessel.preempts";
   U.Runtime.preempt_core t.rt ~core commands

@@ -4,6 +4,7 @@ module Hw = Vessel_hw
 module Stats = Vessel_stats
 module Probe = Vessel_obs.Probe
 module Tag = Vessel_obs.Tag
+module Request = Vessel_obs.Request
 
 type switch_kind = Initial | Park_switch | Preempt_switch | Exit_switch | Idle_wake
 
@@ -252,6 +253,17 @@ and run_timed t ~core th action ~effective =
           ("app", Vessel_obs.Event.Int (Uthread.app th));
         ]
       ();
+  (* Dispatch transition for the request this thread serves — fires both
+     on first dispatch (the context was just bound by next_action) and
+     on resumption after a preemption (the context rode the remainder). *)
+  if !Vessel_obs.Probe.req_on then begin
+    let c = Uthread.ctx th in
+    if c <> Request.none then begin
+      let c = Request.with_phase c Request.Dispatch in
+      Uthread.set_ctx th c;
+      Request.mark c ~ts:started ~track:(core_track core)
+    end
+  end;
   let handle =
     Sim.schedule_tagged_after (sim t) ~delay:effective ~tag:t.complete_tag
       ~a:core ~b:0
@@ -270,7 +282,13 @@ and complete_segment t ~core th action ~effective =
       Hw.Membw.consume (Hw.Machine.membw t.machine) ~app:(Uthread.app th)
         ~bytes ~at:(now t)
   | _ -> ());
-  (match action_completion action with Some f -> f (now t) | None -> ());
+  (match action_completion action with
+  | Some f ->
+      f (now t);
+      (* The served request finished with this segment: unbind it so the
+         context can't leak onto the thread's next request. *)
+      if !Vessel_obs.Probe.req_on then Uthread.set_ctx th Request.none
+  | None -> ());
   exec_segment t ~core th
 
 and preempt t ~core ~overhead =
@@ -301,6 +319,14 @@ and preempt t ~core ~overhead =
             ~at:(now t)
       | _ -> ());
       if executed < effective then begin
+        if !Vessel_obs.Probe.req_on then begin
+          let c = Uthread.ctx th in
+          if c <> Request.none then begin
+            let c = Request.with_phase c Request.Preempt in
+            Uthread.set_ctx th c;
+            Request.mark c ~ts:(now t) ~track:(core_track core)
+          end
+        end;
         (* Rebase the in-flight action on its effective duration so the
            split arithmetic is consistent with what actually ran. *)
         let inflight =
@@ -316,7 +342,11 @@ and preempt t ~core ~overhead =
       end
       else begin
         (* The segment had in fact just finished: deliver its completion. *)
-        match action_completion action with Some f -> f (now t) | None -> ()
+        match action_completion action with
+        | Some f ->
+            f (now t);
+            if !Vessel_obs.Probe.req_on then Uthread.set_ctx th Request.none
+        | None -> ()
       end;
       Uthread.set_state th Uthread.Ready;
       observe t (Deschedule { core; thread = th; at = now t });

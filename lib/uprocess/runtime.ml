@@ -5,6 +5,7 @@ module Stats = Vessel_stats
 module Cost_model = Hw.Cost_model
 module Probe = Vessel_obs.Probe
 module Tag = Vessel_obs.Tag
+module Request = Vessel_obs.Request
 
 type t = {
   machine : Hw.Machine.t;
@@ -81,8 +82,18 @@ let apply_command t ~core = function
           match Uthread.state th with
           | Uthread.Parked | Uthread.Ready ->
               Uthread.set_state th Uthread.Ready;
-              if not (Task_queue.mem t.core_queues.(core) th) then
-                Task_queue.push_front t.core_queues.(core) th ~now:(now t)
+              if not (Task_queue.mem t.core_queues.(core) th) then begin
+                Task_queue.push_front t.core_queues.(core) th ~now:(now t);
+                (* A uintr-carried Run_thread resuming a preempted
+                   request: the wake transition is request-attributable. *)
+                let c = Uthread.ctx th in
+                if !Vessel_obs.Probe.req_on && c <> Request.none then begin
+                  let c = Request.with_phase c Request.Wake in
+                  Uthread.set_ctx th c;
+                  Request.mark c ~ts:(now t)
+                    ~track:(Vessel_obs.Track.Core core)
+                end
+              end
           | Uthread.Running _ | Uthread.Exited -> ())
       | _ -> ())
   | Signal.Preempt_to_be -> ()
@@ -180,6 +191,9 @@ let on_run t ~core th =
           ("tid", Vessel_obs.Event.Int (Uthread.tid th));
           ("uproc", Vessel_obs.Event.Int (Uthread.uproc th));
           ("pkru", Vessel_obs.Event.Int (Hw.Pkru.to_int pkru));
+          (* nonzero only when resuming a preempted request; a fresh
+             dispatch binds its request at the first segment *)
+          ("rid", Vessel_obs.Event.Int (Request.rid (Uthread.ctx th)));
         ]
       ();
   if !Probe.metrics_on then Probe.incr "uproc.dispatches";
@@ -400,6 +414,12 @@ let wake_thread t th ~core =
   if Uthread.state th = Uthread.Parked && not (is_dead t th) then begin
     Uthread.set_state th Uthread.Ready;
     Task_queue.push t.core_queues.(core) th ~now:(now t);
+    let c = Uthread.ctx th in
+    if !Vessel_obs.Probe.req_on && c <> Request.none then begin
+      let c = Request.with_phase c Request.Wake in
+      Uthread.set_ctx th c;
+      Request.mark c ~ts:(now t) ~track:(Vessel_obs.Track.Core core)
+    end;
     Exec.notify (get_exec t) ~core
   end
 

@@ -33,6 +33,9 @@ let probe t name e =
               | Uthread.Latency_critical -> 1
               | Uthread.Best_effort -> 0) );
           ("at", Vessel_obs.Event.Int e.at);
+          (* request the thread is carrying, 0 when idle — lets queue-op
+             instants be joined against req.* attribution stamps *)
+          ("rid", Vessel_obs.Event.Int (Vessel_obs.Request.rid (Uthread.ctx e.thread)));
         ]
       ()
 

@@ -28,12 +28,13 @@ type t = {
   mutable remainder : action option;
   mutable app_ns : int;
   mutable killed : bool;
+  mutable ctx : Vessel_obs.Request.t;
 }
 
 let create ~tid ~app ~uproc ?name ~priority ~step () =
   let name = match name with Some n -> n | None -> Printf.sprintf "t%d" tid in
   { tid; app; uproc; name; priority; step; state = Ready; remainder = None;
-    app_ns = 0; killed = false }
+    app_ns = 0; killed = false; ctx = Vessel_obs.Request.none }
 
 let tid t = t.tid
 let app t = t.app
@@ -45,12 +46,22 @@ let set_state t s = t.state <- s
 let mark_killed t = t.killed <- true
 let is_killed t = t.killed
 
+let ctx t = t.ctx
+let set_ctx t c = t.ctx <- c
+
 let next_action t ~now =
   match t.remainder with
   | Some a ->
+      (* Resuming a preempted segment: the thread keeps serving the same
+         request, so the bound context is left alone. *)
       t.remainder <- None;
       a
-  | None -> t.step ~now
+  | None ->
+      let a = t.step ~now in
+      (* A fresh segment may begin serving a new request: the workload
+         step stashes the popped request's context for us to claim. *)
+      if !Vessel_obs.Probe.req_on then t.ctx <- Vessel_obs.Request.take ();
+      a
 
 let save_remainder t action ~executed =
   if executed < 0 then invalid_arg "Uthread.save_remainder: negative executed";

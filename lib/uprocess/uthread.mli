@@ -67,6 +67,13 @@ val mark_killed : t -> unit
 
 val is_killed : t -> bool
 
+val ctx : t -> Vessel_obs.Request.t
+(** The request this thread is currently serving ([Request.none] when
+    idle/parked). Bound by {!next_action} from the per-domain stash when
+    a fresh segment starts; cleared by the executor at completion. *)
+
+val set_ctx : t -> Vessel_obs.Request.t -> unit
+
 val next_action : t -> now:Vessel_engine.Time.t -> action
 (** The pending remainder if the thread was preempted mid-segment,
     otherwise a fresh segment from [step]. *)

@@ -12,6 +12,7 @@ module U = Vessel_uprocess
 module S = Vessel_sched
 module Stats = Vessel_stats
 module Obs = Vessel_obs
+module Request = Vessel_obs.Request
 
 type policy = Round_robin | Least_loaded | Consistent_hash
 
@@ -28,14 +29,19 @@ let policy_of_string = function
 
 let all_policies = [ Round_robin; Least_loaded; Consistent_hash ]
 
-type req = { key : int; t0 : int }
-type resp = { r_t0 : int; r_ix : int }
+type req = { key : int; t0 : int; rid : int }
+type resp = { r_t0 : int; r_ix : int; r_rid : int }
+
+(* Backend queue entries pack (request id, dispatch stamp) into one int,
+   same layout as Openloop's request queue: stamp in the low 38 bits
+   (the engine's timestamp width), rid above. *)
+let mask38 = (1 lsl 38) - 1
 
 type backend = {
   b_machine : int; (* cluster machine id *)
   b_sys : S.Sched_intf.system;
   b_rng : Rng.t; (* service draws, split off the backend's own sim *)
-  b_queue : int Queue.t; (* t0 stamps awaiting a worker *)
+  b_queue : int Queue.t; (* packed (rid, t0 stamp) awaiting a worker *)
   served_metric : string;
 }
 
@@ -65,6 +71,11 @@ type t = {
   mutable n_dropped : int;
   n_dispatched : int array;
   n_served_by : int array;
+  mutable next_rid : int; (* minted per arrival, flag-independent *)
+  (* Distinct high bits per frontend instance: several experiment points
+     share one trace file and restart rids at 1, so raw rids would
+     cross-connect flow arrows between unrelated points. *)
+  flow_base : int;
 }
 
 (* A deterministic 62-bit integer mixer (splitmix-style finalizer with
@@ -133,6 +144,13 @@ let pick t key =
 let on_arrival t ~now =
   if in_window t now then t.n_offered <- t.n_offered + 1;
   let key = int_of_float (Dist.sample t.key_dist t.lb_rng) in
+  (* The id is minted unconditionally so the counter — and thus any
+     output derived from it — never depends on probe flags. *)
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  let live = !Obs.Probe.req_on in
+  if live then
+    Request.mark (Request.v ~rid Request.Arrive) ~ts:now ~track:Obs.Track.Engine;
   match pick t key with
   | None ->
       if in_window t now then t.n_dropped <- t.n_dropped + 1;
@@ -140,8 +158,14 @@ let on_arrival t ~now =
   | Some ix ->
       t.n_inflight.(ix) <- t.n_inflight.(ix) + 1;
       if in_window t now then t.n_dispatched.(ix) <- t.n_dispatched.(ix) + 1;
+      if live then begin
+        Request.mark (Request.v ~rid Request.Lb) ~ts:now ~track:Obs.Track.Engine;
+        if !Obs.Probe.on then
+          Obs.Probe.flow ~ts:now ~track:Obs.Track.Engine ~name:Obs.Tag.req_flow
+            ~id:(t.flow_base lor rid) ~dir:Obs.Event.Flow_start
+      end;
       Net.send t.req_link ~src:t.fe ~dst:t.backends.(ix).b_machine
-        { key; t0 = now }
+        { key; t0 = now; rid = (if live then rid else 0) }
 
 let on_response t ~now (r : resp) =
   let ix = r.r_ix in
@@ -153,6 +177,14 @@ let on_response t ~now (r : resp) =
     Stats.Histogram.record t.agg sojourn;
     Stats.Histogram.record t.per.(ix) sojourn;
     if !Obs.Probe.metrics_on then Obs.Probe.incr t.backends.(ix).served_metric
+  end;
+  if r.r_rid > 0 && !Obs.Probe.req_on then begin
+    Request.mark
+      (Request.v ~rid:r.r_rid Request.Done)
+      ~ts:now ~track:Obs.Track.Engine;
+    if !Obs.Probe.on then
+      Obs.Probe.flow ~ts:now ~track:Obs.Track.Engine ~name:Obs.Tag.req_flow
+        ~id:(t.flow_base lor r.r_rid) ~dir:Obs.Event.Flow_end
   end
 
 let sample_service t bk =
@@ -161,18 +193,37 @@ let sample_service t bk =
 let worker_step t ix bk ~now:_ =
   match Queue.take_opt bk.b_queue with
   | None -> U.Uthread.Park
-  | Some t0 ->
+  | Some packed ->
+      let t0 = packed land mask38 and rid = packed lsr 38 in
+      (* Hand the popped request's context to the uthread about to
+         serve it. *)
+      if rid > 0 && !Obs.Probe.req_on then
+        Request.stash (Request.v ~rid Request.Enqueue);
       U.Uthread.Compute
         {
           ns = sample_service t bk;
           on_complete =
             Some
-              (fun _finished ->
+              (fun finished ->
+                if rid > 0 && !Obs.Probe.req_on then
+                  Request.mark
+                    (Request.v ~rid Request.Complete)
+                    ~ts:finished ~track:Obs.Track.Engine;
                 Net.send t.resp_link ~src:bk.b_machine ~dst:t.fe
-                  { r_t0 = t0; r_ix = ix });
+                  { r_t0 = t0; r_ix = ix; r_rid = rid });
         }
 
 (* ---- setup ------------------------------------------------------- *)
+
+(* Per-instance flow-id salt, derived from the collector's fork-
+   structure key: stable under -j (a creation-order counter would shift
+   with worker-domain interleaving and across repeated runs in one
+   process) and distinct across experiment points sharing a trace
+   file. *)
+let flow_salt () =
+  let key = Obs.Collector.current_key () in
+  let h = List.fold_left (fun acc k -> mix (acc lxor (k + 0x9E37))) 1 key in
+  (h land 0x7FFFFF) lsl 40
 
 let build_ring ~backends ~vnodes =
   let entries =
@@ -188,8 +239,18 @@ let create ~cluster ~frontend ~policy ?(keys = 1_000_000) ?(zipf_s = 1.1)
   if backends = [] then invalid_arg "Frontend.create: no backends";
   let fe_sim = Cluster.sim cluster frontend in
   let n = List.length backends in
-  let req_link = Net.link ~name:"fleet.req" cluster in
-  let resp_link = Net.link ~name:"fleet.resp" cluster in
+  let flow_base = flow_salt () in
+  let req_link =
+    Net.link ~name:"fleet.req"
+      ~flow_of:(fun (r : req) -> if r.rid > 0 then flow_base lor r.rid else 0)
+      cluster
+  in
+  let resp_link =
+    Net.link ~name:"fleet.resp"
+      ~flow_of:(fun (r : resp) ->
+        if r.r_rid > 0 then flow_base lor r.r_rid else 0)
+      cluster
+  in
   let bks =
     Array.of_list
       (List.map
@@ -230,6 +291,8 @@ let create ~cluster ~frontend ~policy ?(keys = 1_000_000) ?(zipf_s = 1.1)
       n_dropped = 0;
       n_dispatched = Array.make n 0;
       n_served_by = Array.make n 0;
+      next_rid = 1;
+      flow_base;
     }
   in
   (* Backend side: one LC app + server workers per machine; requests
@@ -248,8 +311,12 @@ let create ~cluster ~frontend ~policy ?(keys = 1_000_000) ?(zipf_s = 1.1)
              ~name:(Printf.sprintf "fs%d-w%d" ix w)
              ~step:(worker_step t ix bk))
       done;
-      Net.on_receive req_link ~machine:bk.b_machine (fun ~now:_ ~src:_ r ->
-          Queue.push r.t0 bk.b_queue;
+      Net.on_receive req_link ~machine:bk.b_machine (fun ~now ~src:_ r ->
+          Queue.push ((r.rid lsl 38) lor (r.t0 land mask38)) bk.b_queue;
+          if r.rid > 0 && !Obs.Probe.req_on then
+            Request.mark
+              (Request.v ~rid:r.rid Request.Enqueue)
+              ~ts:now ~track:Obs.Track.Engine;
           bk.b_sys.S.Sched_intf.notify_app ~app_id:1))
     bks;
   (* Frontend side: responses land here; arrivals drive the router. *)

@@ -4,6 +4,7 @@ module Rng = Vessel_engine.Rng
 module U = Vessel_uprocess
 module S = Vessel_sched
 module Stats = Vessel_stats
+module Request = Vessel_obs.Request
 
 (* The Poisson arrival chain, on its own so other client models (the
    fleet load balancer) can reuse it against any sink. The chain borrows
@@ -64,6 +65,13 @@ module Arrivals = struct
   let stop t = t.epoch <- t.epoch + 1
 end
 
+(* Queued requests pack (request id, arrival stamp) into one int:
+   arrival in the low 38 bits (the engine's timestamp width), rid above.
+   With attribution and tracing off the rid half is 0, so the queue
+   contents — and everything downstream — are bit-identical to a build
+   without request tracing. *)
+let mask38 = (1 lsl 38) - 1
+
 type t = {
   sim : Sim.t;
   sys : S.Sched_intf.system;
@@ -71,7 +79,7 @@ type t = {
   service : Dist.t;
   rng : Rng.t; (* shared with [arrivals]: one stream, interleaved draws *)
   arrivals : Arrivals.t;
-  requests : int Queue.t; (* arrival timestamps *)
+  requests : int Queue.t; (* packed (rid, arrival timestamp) *)
   latencies : Stats.Histogram.t;
   mutable window_start : int;
   mutable offered : int;
@@ -80,56 +88,91 @@ type t = {
   (* Sim dispatch tag for ingress-delayed delivery, registered in
      [create]; the steady-state arrival path is closure-free. *)
   mutable deliver_tag : int;
+  mutable next_rid : int; (* minted per arrival, flag-independent *)
 }
 
 let in_window t at = at >= t.window_start
 
-let completion t arrived =
+let completion t packed =
   Some
     (fun finished ->
+      let arrived = packed land mask38 in
       if in_window t arrived then begin
         t.served <- t.served + 1;
         Stats.Histogram.record t.latencies (max 0 (finished - arrived))
-      end)
+      end;
+      let rid = packed lsr 38 in
+      if rid > 0 && !Vessel_obs.Probe.req_on then
+        Request.mark (Request.v ~rid Request.Done) ~ts:finished
+          ~track:Vessel_obs.Track.Engine)
 
 let sample_service t =
   max 1 (int_of_float (Float.round (Dist.sample t.service t.rng)))
 
+let claim packed =
+  (* Hand the popped request's context to the uthread about to serve it. *)
+  if packed lsr 38 > 0 && !Vessel_obs.Probe.req_on then
+    Request.stash (Request.v ~rid:(packed lsr 38) Request.Enqueue)
+
 let worker_step t ~now:_ =
   match Queue.take_opt t.requests with
   | None -> U.Uthread.Park
-  | Some arrived ->
+  | Some packed ->
+      claim packed;
       U.Uthread.Compute
-        { ns = sample_service t; on_complete = completion t arrived }
+        { ns = sample_service t; on_complete = completion t packed }
 
 let worker_step_mem t ~bytes_per_req ~now:_ =
   match Queue.take_opt t.requests with
   | None -> U.Uthread.Park
-  | Some arrived ->
+  | Some packed ->
+      claim packed;
       U.Uthread.Mem_work
         {
           ns = sample_service t;
           bytes = bytes_per_req;
           footprint = None;
-          on_complete = completion t arrived;
+          on_complete = completion t packed;
         }
 
-let deliver t ~arrived =
-  Queue.push arrived t.requests;
+let deliver t ~rid ~arrived =
+  Queue.push ((rid lsl 38) lor (arrived land mask38)) t.requests;
+  if rid > 0 && !Vessel_obs.Probe.req_on then
+    Request.mark
+      (Request.v ~rid Request.Enqueue)
+      ~ts:(Sim.now t.sim) ~track:Vessel_obs.Track.Engine;
   t.sys.S.Sched_intf.notify_app ~app_id:t.app_id
 
 let inject t =
   let at = Sim.now t.sim in
   if in_window t at then t.offered <- t.offered + 1;
+  (* The id is minted unconditionally so the counter — and thus any
+     output derived from it — never depends on probe flags. *)
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  let live = !Vessel_obs.Probe.req_on in
+  if live then
+    Request.mark (Request.v ~rid Request.Arrive) ~ts:at
+      ~track:Vessel_obs.Track.Engine;
+  let rid = if live then rid else 0 in
   match t.ingress with
-  | None -> deliver t ~arrived:at
+  | None -> deliver t ~rid ~arrived:at
   | Some f -> (
       match f ~now:at with
-      | d when d <= 0 -> deliver t ~arrived:at
+      | d when d <= 0 -> deliver t ~rid ~arrived:at
       | d ->
-          ignore
-            (Sim.schedule_tagged_after t.sim ~delay:d ~tag:t.deliver_tag ~a:0
-               ~b:at))
+          if rid > 0 then
+            (* The tagged payload's [b] word (38 bits) only fits the
+               arrival stamp; rare ingress-delayed deliveries fall back
+               to a closure when request tracing is live. Same schedule
+               call either way, so event order is unchanged. *)
+            ignore
+              (Sim.schedule_after t.sim ~delay:d (fun _ ->
+                   deliver t ~rid ~arrived:at))
+          else
+            ignore
+              (Sim.schedule_tagged_after t.sim ~delay:d ~tag:t.deliver_tag
+                 ~a:0 ~b:at))
 
 let set_ingress t f = t.ingress <- Some f
 
@@ -158,13 +201,14 @@ let create ~sim ~sys ~app_id ~service =
       served = 0;
       ingress = None;
       deliver_tag = -1;
+      next_rid = 1;
     }
   in
   fire_ref := (fun ~now:_ -> inject t);
   t.deliver_tag <-
     (* The arrival stamp rides the wide [b] word: it is a timestamp,
        far past the 16-bit [a] range. *)
-    Sim.register_handler sim (fun _ arrived -> deliver t ~arrived);
+    Sim.register_handler sim (fun _ arrived -> deliver t ~rid:0 ~arrived);
   t
 
 let start t ~rate_rps ~until =

@@ -17,7 +17,14 @@ just-added experiment or queue point) are reported as "(new,
 informational)" and never gate; refresh the baseline to start gating
 them.
 
+With --attrib BENCH_6.json the request-tracing overhead record
+(vessel-bench-6) is also gated: its disabled_overhead_pct — the cost of
+dormant request-mark sites on the dispatch loop — must not exceed
+--attrib-max percent (default 2.0). This is an absolute claim, not a
+baseline delta, so no baseline row is needed.
+
 Usage: bench_compare.py BASELINE CURRENT [--tolerance PCT] [--warn-only]
+                        [--attrib BENCH_6.json] [--attrib-max PCT]
 """
 
 import argparse
@@ -56,6 +63,17 @@ def main():
         "--warn-only",
         action="store_true",
         help="report regressions but always exit 0",
+    )
+    ap.add_argument(
+        "--attrib",
+        metavar="BENCH_6.json",
+        help="also gate the request-tracing overhead record",
+    )
+    ap.add_argument(
+        "--attrib-max",
+        type=float,
+        default=2.0,
+        help="max disabled_overhead_pct allowed in the --attrib record",
     )
     args = ap.parse_args()
 
@@ -153,6 +171,26 @@ def main():
             f"{name:<22} {b['ns_per_op']:>11.1f} {q['ns_per_op']:>11.1f} "
             f"{d:>+7.1f}%{flag}"
         )
+
+    if args.attrib:
+        rec = load(args.attrib, required=not args.warn_only)
+        if rec is not None:
+            ov = rec.get("disabled_overhead_pct")
+            print()
+            if ov is None:
+                print(f"bench_compare: {args.attrib} has no disabled_overhead_pct")
+                regressions.append(f"{args.attrib} missing disabled_overhead_pct")
+            elif ov > args.attrib_max:
+                print(
+                    f"attrib dormant-mark overhead {ov:+.2f}% "
+                    f"(max {args.attrib_max:.1f}%)  <-- REGRESSION"
+                )
+                regressions.append(f"attrib overhead {ov:+.2f}%")
+            else:
+                print(
+                    f"attrib dormant-mark overhead {ov:+.2f}% "
+                    f"(max {args.attrib_max:.1f}%)"
+                )
 
     print()
     if new_rows:

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Summarize a --trace Chrome/Perfetto file from the terminal.
+
+Prints, per track (process/thread), the number of completed spans and
+their total duration, then the top-N longest individual spans — enough
+to eyeball where simulated time goes (and sanity-check an attribution
+report) without loading the file into the Perfetto UI.
+
+Spans are matched B/E per (pid, tid) with a stack, exactly as the
+viewer does; instants, counters, flow legs (ph s/t/f) and metadata
+records contribute to the event count only. Unclosed spans at EOF are
+reported, not counted. Events are decoded one at a time, so multi-
+million-event traces summarize in bounded memory.
+
+Usage: trace_summary.py FILE [--top N]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def iter_events(text):
+    """Yield trace events without materializing the whole array."""
+    start = text.find("[", text.find("traceEvents"))
+    if start < 0:
+        raise ValueError("no traceEvents array found")
+    dec = json.JSONDecoder()
+    i = start + 1
+    n = len(text)
+    while i < n:
+        while i < n and text[i] in " \t\r\n,":
+            i += 1
+        if i >= n or text[i] == "]":
+            return
+        ev, i = dec.raw_decode(text, i)
+        yield ev
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Per-track span totals and longest spans of a trace file"
+    )
+    ap.add_argument("file", help="--trace output (Chrome trace JSON)")
+    ap.add_argument(
+        "--top", type=int, default=10, help="longest spans to list (default 10)"
+    )
+    args = ap.parse_args()
+
+    proc_names = {}
+    thread_names = {}
+    stacks = defaultdict(list)  # (pid, tid) -> [(name, ts)]
+    totals = defaultdict(lambda: [0, 0.0])  # (pid, tid) -> [spans, total_us]
+    longest = []  # (dur_us, ts, name, (pid, tid)); kept sorted, bounded
+    counts = defaultdict(int)  # ph -> events
+    unmatched = 0
+
+    try:
+        with open(args.file) as f:
+            text = f.read()
+    except OSError as e:
+        print(f"trace_summary: {e}", file=sys.stderr)
+        return 2
+
+    for ev in iter_events(text):
+        ph = ev.get("ph")
+        counts[ph] += 1
+        pid, tid = ev.get("pid", 0), ev.get("tid", 0)
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                proc_names[pid] = ev["args"]["name"]
+            elif ev.get("name") == "thread_name":
+                thread_names[(pid, tid)] = ev["args"]["name"]
+        elif ph == "B":
+            stacks[(pid, tid)].append((ev.get("name", "?"), ev["ts"]))
+        elif ph == "E":
+            stack = stacks[(pid, tid)]
+            if not stack:
+                unmatched += 1
+                continue
+            name, t0 = stack.pop()
+            dur = ev["ts"] - t0
+            row = totals[(pid, tid)]
+            row[0] += 1
+            row[1] += dur
+            longest.append((dur, t0, name, (pid, tid)))
+            if len(longest) > 4 * args.top:
+                longest.sort(reverse=True)
+                del longest[args.top :]
+
+    def track(key):
+        pid, tid = key
+        proc = proc_names.get(pid, f"pid {pid}")
+        thread = thread_names.get(key, f"tid {tid}")
+        return f"{proc} / {thread}"
+
+    total_events = sum(counts.values())
+    print(f"{args.file}: {total_events} events", end="")
+    print(
+        " ("
+        + ", ".join(f"{ph}:{counts[ph]}" for ph in sorted(counts, key=str))
+        + ")"
+    )
+
+    # Several processes can carry the same display name (one process per
+    # sweep repetition); fold them into one row per visible track.
+    by_name = defaultdict(lambda: [0, 0.0])
+    for key, (spans, tot) in totals.items():
+        row = by_name[track(key)]
+        row[0] += spans
+        row[1] += tot
+    print("\nPer-track spans:")
+    print(f"  {'track':<44} {'spans':>8} {'total us':>12} {'mean us':>9}")
+    for name in sorted(by_name, key=lambda k: -by_name[k][1]):
+        spans, tot = by_name[name]
+        print(f"  {name:<44} {spans:>8} {tot:>12.1f} {tot / spans:>9.2f}")
+
+    longest.sort(reverse=True)
+    print(f"\nTop {args.top} longest spans:")
+    print(f"  {'dur us':>10} {'ts us':>12}  {'name':<24} track")
+    for dur, t0, name, key in longest[: args.top]:
+        print(f"  {dur:>10.1f} {t0:>12.1f}  {name:<24} {track(key)}")
+
+    open_spans = sum(len(s) for s in stacks.values())
+    if open_spans or unmatched:
+        print(
+            f"\nwarning: {open_spans} spans still open at EOF, "
+            f"{unmatched} unmatched span ends"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

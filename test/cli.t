@@ -16,9 +16,11 @@ The `list` subcommand names every experiment, one per line:
   burst      Burst absorption under us-scale load spikes
   fleet      Fleet: machines under one clock behind a load balancer
   all        Every table and figure
+  
+  Every experiment also accepts --trace FILE, --metrics FILE and --attrib FILE.
 
   $ vessel-sim --version
-  1.3.0
+  1.4.0
 
 Unknown experiments exit 2:
 
@@ -45,3 +47,17 @@ byte-stable at any -j:
   seed 42 profile=none scenario=fig1 ok
   seed 43 profile=none scenario=fig1 ok
   check: 2 runs, 2 ok, 0 violating, 0 faults injected
+
+--attrib writes the vessel-attrib-1 artifact; with no attributing
+experiment in the run it still emits a well-formed empty document:
+
+  $ vessel-sim list --attrib attrib.json > /dev/null
+  $ cat attrib.json
+  {"schema": "vessel-attrib-1",
+    "units": []}
+
+An unwritable --attrib path exits 2 (same contract as --trace):
+
+  $ vessel-sim list --attrib /nonexistent/dir/attrib.json > /dev/null
+  vessel-sim: /nonexistent/dir/attrib.json: No such file or directory
+  [2]

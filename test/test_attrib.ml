@@ -1,0 +1,207 @@
+(* Tests for request-level latency attribution: the hand-built ledger
+   algebra (gap charging, hop splitting), the sink replay path, and the
+   conservation law — per-phase charges sum to end-to-end latency
+   exactly — on live runs, single-machine and fleet, at any -j. *)
+
+module Obs = Vessel_obs
+module Request = Vessel_obs.Request
+module Attrib = Vessel_obs.Attrib
+module Runner = Vessel_experiments.Runner
+module Exp_fleet = Vessel_experiments.Exp_fleet
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Every test owns the global attrib registry and collector state. *)
+let scoped f () =
+  Obs.Collector.reset ();
+  Attrib.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Collector.reset ();
+      Attrib.reset ())
+    f
+
+let bucket names name =
+  let rec find i = if names.(i) = name then i else find (i + 1) in
+  find 0
+
+let b = bucket Attrib.bucket_names
+
+(* ------------------------------------------------------------------ *)
+(* Ledger algebra on a hand-built two-lane stamp stream. *)
+
+let test_ledger_hop_split () =
+  let a = Attrib.create ~lanes:2 ~hop_ns:20 () in
+  let stamp lane phase ts = Attrib.record a ~lane (Request.v ~rid:1 phase) ts in
+  (* Frontend lane 0, backend lane 1; both inter-lane gaps exceed the
+     20 ns hop, so the excess lands in the barrier bucket. *)
+  stamp 0 Request.Arrive 0;
+  stamp 0 Request.Lb 10;
+  stamp 1 Request.Enqueue 55;
+  stamp 1 Request.Dispatch 60;
+  stamp 1 Request.Complete 100;
+  stamp 0 Request.Done 130;
+  match (Attrib.summarize a).Attrib.ledgers with
+  | [ l ] ->
+      check_int "rid" 1 l.Attrib.rid;
+      check_int "e2e" 130 l.Attrib.e2e_ns;
+      check_int "shard = complete lane" 1 l.Attrib.shard;
+      check_int "ingress" 10 l.Attrib.by_bucket.(b "ingress");
+      check_int "net_req capped at hop" 20 l.Attrib.by_bucket.(b "net_req");
+      check_int "queue" 5 l.Attrib.by_bucket.(b "queue");
+      check_int "service" 40 l.Attrib.by_bucket.(b "service");
+      check_int "sched" 0 l.Attrib.by_bucket.(b "sched");
+      check_int "net_resp capped at hop" 20 l.Attrib.by_bucket.(b "net_resp");
+      check_int "barrier residue" 35 l.Attrib.by_bucket.(b "barrier");
+      check_int "conserved" l.Attrib.e2e_ns
+        (Array.fold_left ( + ) 0 l.Attrib.by_bucket)
+  | ls -> Alcotest.failf "expected 1 ledger, got %d" (List.length ls)
+
+let test_summary_counts () =
+  let a = Attrib.create () in
+  let stamp rid phase ts = Attrib.record a ~lane:0 (Request.v ~rid phase) ts in
+  (* rid 1 completes; rid 2 never finishes; rid 3 starts mid-pipeline
+     (its arrival predates recording). *)
+  stamp 1 Request.Arrive 0;
+  stamp 1 Request.Done 7;
+  stamp 2 Request.Arrive 3;
+  stamp 3 Request.Dispatch 5;
+  stamp 3 Request.Done 9;
+  let s = Attrib.summarize a in
+  check_int "completed" 1 (List.length s.Attrib.ledgers);
+  check_int "inflight" 1 s.Attrib.inflight;
+  check_int "malformed" 1 s.Attrib.malformed;
+  check_int "violations" 0 s.Attrib.violations
+
+(* A preempted request: Dispatch / Preempt / Wake / Dispatch. The
+   preempt-to-wake gap is scheduler overhead; wake-to-dispatch is
+   queueing again; only running intervals are service. *)
+let test_preemption_phases () =
+  let a = Attrib.create () in
+  let stamp phase ts = Attrib.record a ~lane:0 (Request.v ~rid:1 phase) ts in
+  stamp Request.Arrive 0;
+  stamp Request.Enqueue 0;
+  stamp Request.Dispatch 10;
+  stamp Request.Preempt 40;
+  stamp Request.Wake 52;
+  stamp Request.Dispatch 60;
+  stamp Request.Complete 90;
+  stamp Request.Done 90;
+  match (Attrib.summarize a).Attrib.ledgers with
+  | [ l ] ->
+      check_int "queue = initial + requeue" 18 l.Attrib.by_bucket.(b "queue");
+      check_int "service = both runs" 60 l.Attrib.by_bucket.(b "service");
+      check_int "sched = preempt..wake" 12 l.Attrib.by_bucket.(b "sched");
+      check_int "conserved" 90 (Array.fold_left ( + ) 0 l.Attrib.by_bucket)
+  | ls -> Alcotest.failf "expected 1 ledger, got %d" (List.length ls)
+
+(* The sink replays req.* trace instants into stamps — the same numbers
+   must come out as from direct recording. *)
+let test_sink_replay () =
+  let a = Attrib.create () in
+  let sink = Attrib.sink a ~lane:0 in
+  let replay phase ts =
+    Obs.Sink.emit sink
+      (Obs.Event.Instant
+         {
+           ts;
+           track = Obs.Track.Engine;
+           name = Request.tags.(Request.phase_index phase);
+           args = [ ("rid", Obs.Event.Int 9) ];
+         })
+  in
+  replay Request.Arrive 100;
+  replay Request.Enqueue 110;
+  replay Request.Dispatch 130;
+  replay Request.Complete 150;
+  replay Request.Done 150;
+  (* Non-request and rid-less events are ignored. *)
+  Obs.Sink.emit sink
+    (Obs.Event.Instant
+       { ts = 1; track = Obs.Track.Engine; name = "vessel.wake"; args = [] });
+  match (Attrib.summarize a).Attrib.ledgers with
+  | [ l ] ->
+      check_int "rid" 9 l.Attrib.rid;
+      check_int "e2e" 50 l.Attrib.e2e_ns;
+      check_int "queue" 20 l.Attrib.by_bucket.(b "queue");
+      check_int "service" 20 l.Attrib.by_bucket.(b "service")
+  | ls -> Alcotest.failf "expected 1 ledger, got %d" (List.length ls)
+
+(* ------------------------------------------------------------------ *)
+(* Conservation on live runs. *)
+
+let conserved s =
+  s.Attrib.violations = 0
+  && s.Attrib.malformed = 0
+  && s.Attrib.ledgers <> []
+  && List.for_all
+       (fun l ->
+         Array.fold_left ( + ) 0 l.Attrib.by_bucket = l.Attrib.e2e_ns)
+       s.Attrib.ledgers
+
+let conservation_single_sim =
+  QCheck.Test.make ~count:6 ~name:"attrib conservation (single machine)"
+    QCheck.(pair (int_range 0 999) (int_range 100 400))
+    (fun (seed_off, krps) ->
+      scoped
+        (fun () ->
+          Obs.Collector.configure ~attrib:true ();
+          ignore
+            (Runner.run_colocation ~seed:(42 + seed_off) ~cores:2
+               ~warmup:1_000_000 ~duration:4_000_000 ~sched:Runner.Vessel
+               ~l_app:Runner.Memcached
+               ~rate_rps:(float_of_int krps *. 1_000.)
+               ());
+          match Attrib.instances () with
+          | [ a ] -> conserved (Attrib.summarize a)
+          | l -> QCheck.Test.fail_reportf "%d instances" (List.length l))
+        ())
+
+let fleet_report j =
+  Obs.Collector.reset ();
+  Attrib.reset ();
+  Obs.Collector.configure ~attrib:true ();
+  Runner.set_domains j;
+  ignore
+    (Exp_fleet.run ~seed:42 ~backends:3 ~cores:2 ~warmup:500_000
+       ~duration:2_000_000
+       ~policies:[ Vessel_workloads.Frontend.Least_loaded ]
+       ~scenarios:[ Exp_fleet.Skew ] ());
+  let ok =
+    List.for_all (fun a -> conserved (Attrib.summarize a)) (Attrib.instances ())
+  in
+  let b = Buffer.create 4096 in
+  Attrib.write (Buffer.add_string b);
+  Attrib.report (Buffer.add_string b);
+  (ok, Buffer.contents b)
+
+let test_fleet_conservation_any_j () =
+  let saved = Runner.domains () in
+  Fun.protect
+    ~finally:(fun () -> Runner.set_domains saved)
+    (scoped (fun () ->
+         let ok1, out1 = fleet_report 1 in
+         let ok4, out4 = fleet_report 4 in
+         check_bool "fleet ledgers conserve at -j 1" true ok1;
+         check_bool "fleet ledgers conserve at -j 4" true ok4;
+         check_bool "artifact+report byte-identical at -j 1 and -j 4" true
+           (String.equal out1 out4);
+         check_bool "artifact non-trivial" true (String.length out1 > 500)))
+
+let suite =
+  [
+    ( "attrib",
+      [
+        Alcotest.test_case "hop split + conservation" `Quick
+          (scoped test_ledger_hop_split);
+        Alcotest.test_case "inflight/malformed counting" `Quick
+          (scoped test_summary_counts);
+        Alcotest.test_case "preemption phase charges" `Quick
+          (scoped test_preemption_phases);
+        Alcotest.test_case "sink replay" `Quick (scoped test_sink_replay);
+        QCheck_alcotest.to_alcotest conservation_single_sim;
+        Alcotest.test_case "fleet conservation, -j 1 = -j 4" `Slow
+          test_fleet_conservation_any_j;
+      ] );
+  ]
