@@ -205,6 +205,78 @@ let queue_add_pop ~backend =
     qr_events_per_sec = float_of_int ops /. dt;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Scheduler-index micro: the wake-placement and scan queries the
+   schedulers now answer from Core_index, under a deterministic churn of
+   the transitions that maintain it (idle/BE occupancy flips, queue-
+   length moves). Reported as queue rows with backend "sched" and
+   pending = core count, so the same BENCH_5 gate that watches the event
+   queue watches this; the acceptance bar is the wake-placement cost
+   staying flat (within 2x) from 8 to 512 cores. *)
+
+let sched_churn ~ncores ~ops =
+  let open Vessel_uprocess in
+  let ix = Core_index.create ~ncores in
+  Core_index.track ix (Array.init ncores Fun.id);
+  let st = ref 0x2545F491 in
+  let next () =
+    let x = !st in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = (x lxor (x lsl 17)) land max_int in
+    st := x;
+    x
+  in
+  (* Seed a realistic occupancy: a few idle cores, a few running BE,
+     short queues elsewhere. *)
+  for core = 0 to ncores - 1 do
+    let r = next () in
+    Core_index.set_idle ix core (r land 7 = 0);
+    Core_index.set_be ix core (r land 7 = 1);
+    Core_index.sync_len ix core ((r lsr 3) land 3)
+  done;
+  let sink = ref 0 in
+  let run n =
+    for _ = 1 to n do
+      let r = next () in
+      let core = r mod ncores in
+      match (r lsr 24) land 3 with
+      | 0 -> Core_index.set_idle ix core ((r lsr 26) land 3 = 0)
+      | 1 -> Core_index.set_be ix core ((r lsr 26) land 3 = 0)
+      | 2 -> Core_index.sync_len ix core ((r lsr 26) land 7)
+      | _ ->
+          (* Wake placement (idle -> preempt-BE -> shortest) plus one
+             scan-cursor step, the two hot queries. *)
+          let c = Core_index.first_idle ix in
+          let c = if c >= 0 then c else Core_index.first_be ix in
+          let c = if c >= 0 then c else Core_index.shortest ix in
+          sink := !sink + c + Core_index.next_nonempty ix ~from:0
+    done
+  in
+  run (min ops 100_000);
+  (* warm *)
+  let dt = time_reps ~reps:3 (fun () -> run ops) in
+  ignore !sink;
+  {
+    qr_backend = "sched";
+    qr_pending = ncores;
+    qr_ns_per_op = dt /. float_of_int ops *. 1e9;
+    qr_events_per_sec = float_of_int ops /. dt;
+  }
+
+let run_sched_bench () =
+  Report.section "Scheduler-index churn (wake placement + scan, ns/op)";
+  let rows =
+    List.map (fun ncores -> sched_churn ~ncores ~ops:2_000_000) [ 8; 64; 512 ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s cores=%-7d %8.1f ns/op %10.1f M ops/s\n"
+        r.qr_backend r.qr_pending r.qr_ns_per_op
+        (r.qr_events_per_sec /. 1e6))
+    rows;
+  rows
+
 let run_queue_bench () =
   Report.section "Event-queue churn (add+pop at steady pending, ns/op)";
   let ops = 2_000_000 in
@@ -573,12 +645,13 @@ let experiment_ids = List.map fst (experiments ~seed:42)
    schedulers, every workload type and the queue in isolation. *)
 let quick_ids =
   List.filter (fun id -> id <> "fig9" && id <> "fig12") experiment_ids
-  @ [ "queue" ]
+  @ [ "queue"; "sched" ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [-j N] [--seed N] [--quick] [EXPERIMENT...]\nvalid ids: %s\n"
-    (String.concat " " (experiment_ids @ [ "micro"; "queue"; "obs"; "attrib" ]))
+    (String.concat " "
+       (experiment_ids @ [ "micro"; "queue"; "sched"; "obs"; "attrib" ]))
 
 let parse_args () =
   let jobs = ref (Vessel_engine.Pool.default_domains ()) in
@@ -616,7 +689,9 @@ let parse_args () =
 let () =
   let jobs, seed, quick, wanted = parse_args () in
   let wanted = if quick && wanted = [] then quick_ids else wanted in
-  let valid = experiment_ids @ [ "micro"; "queue"; "obs"; "attrib" ] in
+  let valid =
+    experiment_ids @ [ "micro"; "queue"; "sched"; "obs"; "attrib" ]
+  in
   let unknown = List.filter (fun w -> not (List.mem w valid)) wanted in
   if unknown <> [] then begin
     Printf.eprintf "error: unknown experiment id%s: %s\n"
@@ -637,20 +712,26 @@ let () =
         let ev0 = Vessel_engine.Sim.total_events_executed () in
         f ();
         let seconds = ref (Unix.gettimeofday () -. t) in
-        let events = Vessel_engine.Sim.total_events_executed () - ev0 in
+        let events = ref (Vessel_engine.Sim.total_events_executed () - ev0) in
         (* Gate runs take the min of three timings: the quick subset is
            all sub-10s experiments, where a single wall-clock sample on
            a shared CI runner can swing far past any real regression.
-           Experiments are deterministic, so the reruns execute the
-           same events; only the timing tightens. *)
+           Reruns within one process can execute *fewer* events than the
+           first pass (capacity/goodput probes memoize across runs), so
+           each rerun's (seconds, events) pair is kept together and the
+           min-seconds pair wins — events/sec stays an honest ratio. *)
         if quick then
           for _ = 2 to 3 do
             let t = Unix.gettimeofday () in
+            let ev0 = Vessel_engine.Sim.total_events_executed () in
             f ();
             let d = Unix.gettimeofday () -. t in
-            if d < !seconds then seconds := d
+            if d < !seconds then begin
+              seconds := d;
+              events := Vessel_engine.Sim.total_events_executed () - ev0
+            end
           done;
-        let seconds = !seconds in
+        let seconds = !seconds and events = !events in
         timings := { name; seconds; events } :: !timings;
         Printf.printf "[%s: %.1fs, %.1fM events]\n%!" name seconds
           (float_of_int events /. 1e6)
@@ -659,6 +740,10 @@ let () =
   if run_all || List.mem "micro" wanted then run_micro ();
   let queue_rows =
     if run_all || List.mem "queue" wanted then run_queue_bench () else []
+  in
+  let queue_rows =
+    queue_rows
+    @ (if run_all || List.mem "sched" wanted then run_sched_bench () else [])
   in
   if run_all || List.mem "obs" wanted then run_obs_bench ();
   if run_all || List.mem "attrib" wanted then run_attrib_bench ();

@@ -157,17 +157,9 @@ let free_entry t i e =
 (* ------------------------------------------------------------------ *)
 (* Occupancy bitmaps *)
 
-(* ctz over 32-bit values via de Bruijn multiplication. *)
-let debruijn32 = 0x077CB531
-
-let ctz_table =
-  let tbl = Array.make 32 0 in
-  for i = 0 to 31 do
-    tbl.((((1 lsl i) * debruijn32) lsr 27) land 31) <- i
-  done;
-  tbl
-
-let ctz32 x = ctz_table.((((x land -x) * debruijn32) lsr 27) land 31)
+(* ctz over 32-bit values via de Bruijn multiplication (shared scan
+   kernel in Bits). *)
+let ctz32 = Bits.ctz32
 
 let set_bit t lvl slot =
   let w = (lvl lsl 3) + (slot lsr 5) in

@@ -30,8 +30,51 @@ let control_plane_ingress ~service_ns =
     free_at := start + service_ns;
     !free_at - now
 
+(* Each goodput probe is a pure function of (sched, cores, fraction,
+   l_max, seed): it builds a private Sim from the explicit seed, so the
+   same key always yields the same verdict. Repeated invocations (bench
+   reruns, repeated fig12 runs in one process) hit the table instead of
+   re-simulating 35 ms of machine time per probe.
+
+   Warm-starting the search bracket from the previous core count's
+   result was considered and rejected: the reported goodput is the max
+   over *passing probes*, so narrowing [lo, hi] changes which fractions
+   get probed and thereby the reported number. Memoization keeps the
+   probe sequence — and hence every printed digit — identical, and only
+   skips probes whose outcome is already known. Bypassed while a
+   collector or request attribution is live, for the same reason as
+   Runner's capacity cache: a cached probe skips the run, and its
+   collector unit's events would vanish from merged traces. *)
+let probe_mutex = Mutex.create ()
+
+let probe_cache :
+    (Runner.sched_kind * int * int64 * int64 * int, float option) Hashtbl.t =
+  Hashtbl.create 64
+
+let memo_probe ~seed ~cores ~sched ~l_max ~fraction compute =
+  if Vessel_obs.Collector.active () || Vessel_obs.Request.active () then
+    compute ()
+  else begin
+    let key =
+      (sched, cores, Int64.bits_of_float fraction, Int64.bits_of_float l_max,
+       seed)
+    in
+    Mutex.lock probe_mutex;
+    let hit = Hashtbl.find_opt probe_cache key in
+    Mutex.unlock probe_mutex;
+    match hit with
+    | Some v -> v
+    | None ->
+        let v = compute () in
+        Mutex.lock probe_mutex;
+        if not (Hashtbl.mem probe_cache key) then Hashtbl.add probe_cache key v;
+        Mutex.unlock probe_mutex;
+        v
+  end
+
 let goodput ~seed ~cores ~sched ~l_max =
   let run fraction =
+    memo_probe ~seed ~cores ~sched ~l_max ~fraction @@ fun () ->
     let b = Runner.build ~seed ~cores sched in
     let sys = b.Runner.sys in
     let gen =

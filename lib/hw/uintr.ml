@@ -75,14 +75,26 @@ let deliverable r = r.running && (not r.suppressed) && r.pir <> 0L
 
 let take_pending r =
   let pir = r.pir in
-  r.pir <- 0L;
-  let rec go v acc =
-    if v > 63 then List.rev acc
-    else begin
-      let bit = Int64.logand pir (Int64.shift_left 1L v) in
-      go (v + 1) (if bit <> 0L then v :: acc else acc)
-    end
-  in
-  go 0 []
+  (* Usually empty: pick_next polls this at every privileged entry, so
+     the common case must not walk (and box) 64 vector positions. *)
+  if pir = 0L then []
+  else begin
+    r.pir <- 0L;
+    (* Split into two unboxed 32-bit halves and pop set bits with the de
+       Bruijn ctz: the drain allocates one cell per pending vector (the
+       result list), not 64 boxed Int64 probes. Popping the lowest bit
+       builds each half in descending order, lo half consed deepest, so
+       one reverse yields the ascending vector order callers expect. *)
+    let lo = Int64.to_int (Int64.logand pir 0xFFFFFFFFL) in
+    let hi = Int64.to_int (Int64.shift_right_logical pir 32) in
+    let rec pop base x acc =
+      if x = 0 then acc
+      else
+        pop base
+          (x land (x - 1))
+          ((base + Vessel_engine.Bits.ctz32 x) :: acc)
+    in
+    List.rev (pop 32 hi (pop 0 lo []))
+  end
 
 let has_pending r = r.pir <> 0L

@@ -9,6 +9,11 @@ type t = {
   pt : Page_table.t;
   store : (int, bytes) Hashtbl.t; (* page number -> contents *)
   attached : (int, unit) Hashtbl.t; (* slot -> data mapped *)
+  (* One-entry cache over [store]: the message-pipe task map keeps the
+     per-switch path on the same page, so most lookups repeat the last
+     one. [-1] = empty; [release_range] resets it. *)
+  mutable last_n : int;
+  mutable last_b : bytes;
 }
 
 let map_region pt (r : Region.t) ~prot =
@@ -20,7 +25,14 @@ let create layout =
   map_region pt (Layout.runtime_data layout) ~prot:Page.prot_rw;
   map_region pt (Layout.runtime_text layout) ~prot:Page.prot_x;
   map_region pt (Layout.message_pipe layout) ~prot:Page.prot_rw;
-  { layout; pt; store = Hashtbl.create 1024; attached = Hashtbl.create 8 }
+  {
+    layout;
+    pt;
+    store = Hashtbl.create 1024;
+    attached = Hashtbl.create 8;
+    last_n = -1;
+    last_b = Bytes.empty;
+  }
 
 let layout t = t.layout
 let page_table t = t.pt
@@ -39,21 +51,34 @@ let pkru_for_slot t i =
       (Pkey.message_pipe, Pkru.Read_only);
     ]
 
-let pkru_runtime _t =
+(* A constant: the runtime's PKRU value is a plain int, and this sits on
+   the per-deschedule path — rebuilding the grants list there allocated
+   ~100 minor words per context switch. *)
+let runtime_pkru_value =
   let grants =
     List.init (Pkey.count - 1) (fun k -> (Pkey.of_int (k + 1), Pkru.Read_write))
   in
   Pkru.make grants
 
+let pkru_runtime _t = runtime_pkru_value
+
 (* --- byte store --- *)
 
 let page_bytes t n =
-  match Hashtbl.find_opt t.store n with
-  | Some b -> b
-  | None ->
-      let b = Bytes.make Page.size '\000' in
-      Hashtbl.add t.store n b;
-      b
+  if t.last_n = n then t.last_b
+  else begin
+    let b =
+      match Hashtbl.find_opt t.store n with
+      | Some b -> b
+      | None ->
+          let b = Bytes.make Page.size '\000' in
+          Hashtbl.add t.store n b;
+          b
+    in
+    t.last_n <- n;
+    t.last_b <- b;
+    b
+  end
 
 let copy_out t ~addr ~len =
   let out = Bytes.create len in
@@ -108,6 +133,8 @@ let fetch t ~addr ~len =
 
 let release_range t ~addr ~len =
   if len > 0 then begin
+    t.last_n <- -1;
+    t.last_b <- Bytes.empty;
     let first = Page.number_of_addr addr
     and last = Page.number_of_addr (addr + len - 1) in
     for n = first to last do

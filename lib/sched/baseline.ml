@@ -78,7 +78,13 @@ let arachne =
 type app_state = {
   spec : Sched_intf.app_spec;
   queue : U.Task_queue.t;
-  mutable workers : U.Uthread.t list;
+  (* Workers by spawn-ordered slot; [pset] mirrors which are Parked (bit
+     flipped in Uthread.set_state), so the newest parked worker — what
+     the old newest-first [List.find_opt] returned — is a bit scan. *)
+  pset : U.Core_index.Pset.t;
+  mutable workers_arr : U.Uthread.t array;
+  mutable nworkers : int;
+  owned : U.Core_index.Bitset.t; (* cores this app currently owns *)
   mutable granted : int;
   mutable busy_snapshot : int; (* sum of worker app_ns at the last pass *)
 }
@@ -87,8 +93,19 @@ type t = {
   machine : Hw.Machine.t;
   profile : profile;
   mutable exec : U.Exec.t option;
+  (* Idle/BE occupancy bits maintained by the executor; the ownership
+     bitsets below are maintained at acquire/release so the IOKernel's
+     free-core / BE-victim / idle-granted walks become bit scans with the
+     legacy ascending-scan tie-break (lowest core id). *)
+  cindex : U.Core_index.t;
+  unowned : U.Core_index.Bitset.t; (* cores with no owner *)
+  beown : U.Core_index.Bitset.t; (* cores owned by a best-effort app *)
   apps : (int, app_state) Hashtbl.t;
   mutable app_order : int list; (* registration order, LC sorted first *)
+  (* registration order pre-split by class (scheduler_pass runs every
+     realloc tick; rebuilding these lists there would allocate) *)
+  mutable lc_order : int list;
+  mutable be_order : int list;
   owner : int option array; (* core -> app id *)
   stint_start : int array; (* when the owner acquired the core *)
   last_app : int option array;
@@ -157,9 +174,9 @@ let rec pop_live q =
    the 2.1 us park-based reallocation of Table 1). *)
 let needy_app ?except ?(lc_only = false) t =
   let best = ref None in
-  let consider class_wanted id =
+  let consider id =
     let a = app_state t id in
-    if Some id <> except && a.spec.Sched_intf.class_ = class_wanted then begin
+    if Some id <> except then begin
       let len = U.Task_queue.length a.queue in
       if len > 0 then begin
         let delay = U.Task_queue.head_delay a.queue ~now:(now t) in
@@ -169,9 +186,8 @@ let needy_app ?except ?(lc_only = false) t =
       end
     end
   in
-  List.iter (consider Sched_intf.Latency_critical) t.app_order;
-  if (not lc_only) && !best = None then
-    List.iter (consider Sched_intf.Best_effort) t.app_order;
+  List.iter consider t.lc_order;
+  if (not lc_only) && !best = None then List.iter consider t.be_order;
   Option.map fst !best
 
 (* Who may take the core from [app] when its stint expires: anyone if the
@@ -185,6 +201,16 @@ let rotation_candidate t ~owner =
 
 let acquire t ~core app =
   let a = app_state t app in
+  (* preempt_for acquires over a still-set previous owner (it only
+     decrements the grant count): drop the old ownership bit here. *)
+  (match t.owner.(core) with
+  | Some prev -> U.Core_index.Bitset.clear (app_state t prev).owned core
+  | None -> ());
+  U.Core_index.Bitset.clear t.unowned core;
+  U.Core_index.Bitset.set a.owned core;
+  (match a.spec.Sched_intf.class_ with
+  | Sched_intf.Best_effort -> U.Core_index.Bitset.set t.beown core
+  | Sched_intf.Latency_critical -> U.Core_index.Bitset.clear t.beown core);
   t.owner.(core) <- Some app;
   t.stint_start.(core) <- now t;
   a.granted <- a.granted + 1
@@ -195,6 +221,9 @@ let release t ~core app =
   if !Probe.metrics_on then Probe.incr "sched.iok.releases";
   t.spun.(core) <- false;
   t.owner.(core) <- None;
+  U.Core_index.Bitset.set t.unowned core;
+  U.Core_index.Bitset.clear a.owned core;
+  U.Core_index.Bitset.clear t.beown core;
   a.granted <- a.granted - 1
 
 let rec pick_next t ~core =
@@ -303,26 +332,17 @@ let on_preempted t ~core:_ th =
 
 (* --- the scheduler entity (IOKernel / core arbiter) --- *)
 
+(* Lowest unowned core — the old ascending owner-array walk. *)
 let free_core t =
-  let rec go core =
-    if core >= ncores t then None
-    else if t.owner.(core) = None then Some core
-    else go (core + 1)
-  in
-  go 0
+  match U.Core_index.Bitset.first t.unowned with
+  | -1 -> None
+  | core -> Some core
 
+(* Lowest core owned by a best-effort app. *)
 let be_owned_core t =
-  let rec go core =
-    if core >= ncores t then None
-    else
-      match t.owner.(core) with
-      | Some app
-        when (app_state t app).spec.Sched_intf.class_ = Sched_intf.Best_effort
-        ->
-          Some core
-      | _ -> go (core + 1)
-  in
-  go 0
+  match U.Core_index.Bitset.first t.beown with
+  | -1 -> None
+  | core -> Some core
 
 let grant t ~app ~core =
   if !Probe.on then iok_instant (now t) ~name:Tag.iok_grant ~app ~core;
@@ -366,7 +386,11 @@ let demand t a =
         max 1 (U.Task_queue.length a.queue)
       else 0
   | Utilization_based { grow_above; shrink_below = _ } ->
-      let busy = List.fold_left (fun acc th -> acc + U.Uthread.total_app_ns th) 0 a.workers in
+      let busy = ref 0 in
+      for i = 0 to a.nworkers - 1 do
+        busy := !busy + U.Uthread.total_app_ns a.workers_arr.(i)
+      done;
+      let busy = !busy in
       let delta = busy - a.busy_snapshot in
       a.busy_snapshot <- busy;
       let capacity = max 1 (a.granted * t.profile.realloc_interval) in
@@ -389,11 +413,6 @@ let scheduler_pass t =
     | _ -> ()
   done;
   (* Latency-critical apps first, then best-effort backfill. *)
-  let classed c =
-    List.filter
-      (fun id -> (app_state t id).spec.Sched_intf.class_ = c)
-      t.app_order
-  in
   List.iter
     (fun id ->
       let a = app_state t id in
@@ -411,7 +430,7 @@ let scheduler_pass t =
                 | None -> ())
       in
       grant_loop want)
-    (classed Sched_intf.Latency_critical);
+    t.lc_order;
   List.iter
     (fun id ->
       let a = app_state t id in
@@ -424,7 +443,7 @@ let scheduler_pass t =
           | None -> ()
       in
       backfill ())
-    (classed Sched_intf.Best_effort)
+    t.be_order
 
 let tick t =
   if t.running then begin
@@ -443,11 +462,17 @@ let add_app t spec =
     {
       spec;
       queue = U.Task_queue.create ();
-      workers = [];
+      pset = U.Core_index.Pset.create ();
+      workers_arr = [||];
+      nworkers = 0;
+      owned = U.Core_index.Bitset.create (ncores t);
       granted = 0;
       busy_snapshot = 0;
     };
-  t.app_order <- t.app_order @ [ spec.Sched_intf.id ]
+  t.app_order <- t.app_order @ [ spec.Sched_intf.id ];
+  (match spec.Sched_intf.class_ with
+  | Sched_intf.Latency_critical -> t.lc_order <- t.lc_order @ [ spec.Sched_intf.id ]
+  | Sched_intf.Best_effort -> t.be_order <- t.be_order @ [ spec.Sched_intf.id ])
 
 let add_worker t ~app_id ~name ~step =
   let a = app_state t app_id in
@@ -456,39 +481,47 @@ let add_worker t ~app_id ~name ~step =
       ~priority:(Sched_intf.priority_of_class a.spec.Sched_intf.class_)
       ~step ()
   in
-  a.workers <- th :: a.workers;
+  let slot = U.Core_index.Pset.register a.pset in
+  if slot >= Array.length a.workers_arr then begin
+    let arr = Array.make (max 4 (2 * Array.length a.workers_arr)) th in
+    Array.blit a.workers_arr 0 arr 0 a.nworkers;
+    a.workers_arr <- arr
+  end;
+  a.workers_arr.(slot) <- th;
+  a.nworkers <- slot + 1;
+  U.Uthread.track_parked th a.pset ~slot;
   U.Task_queue.push a.queue th ~now:(now t);
   th
 
+(* Lowest core granted to [app] that is idle: intersect the app's
+   ownership bits with the executor-maintained idle bits. *)
 let idle_granted_core t ~app =
-  let rec go core =
-    if core >= ncores t then None
-    else if t.owner.(core) = Some app && U.Exec.is_idle (get_exec t) ~core then
-      Some core
-    else go (core + 1)
-  in
-  go 0
+  let a = app_state t app in
+  match
+    U.Core_index.Bitset.first_and a.owned (U.Core_index.idle_bits t.cindex)
+  with
+  | -1 -> None
+  | core -> Some core
 
 let notify_app t ~app_id =
   let a = app_state t app_id in
-  (match
-     List.find_opt (fun th -> U.Uthread.state th = U.Uthread.Parked) a.workers
-   with
-  | Some th ->
+  (* Highest parked slot = newest parked worker, the old find_opt's
+     answer over the newest-first list. *)
+  (match U.Core_index.Pset.highest a.pset with
+  | -1 -> ()
+  | slot ->
+      let th = a.workers_arr.(slot) in
       U.Uthread.set_state th U.Uthread.Ready;
-      U.Task_queue.push a.queue th ~now:(now t)
-  | None -> ());
+      U.Task_queue.push a.queue th ~now:(now t));
   let spinning_granted_core () =
-    let rec go core =
-      if core >= ncores t then None
-      else if
-        t.owner.(core) = Some app_id
-        &&
-        match U.Exec.current (get_exec t) ~core with
-        | Some th -> is_spin th
-        | None -> false
-      then Some core
-      else go (core + 1)
+    (* Walk only the cores this app owns. *)
+    let rec go from =
+      match U.Core_index.Bitset.next a.owned ~from with
+      | -1 -> None
+      | core -> (
+          match U.Exec.current (get_exec t) ~core with
+          | Some th when is_spin th -> Some core
+          | _ -> go (core + 1))
     in
     go 0
   in
@@ -526,13 +559,22 @@ let stop t =
 
 let make profile ~machine =
   let n = Hw.Machine.ncores machine in
+  let unowned = U.Core_index.Bitset.create n in
+  for core = 0 to n - 1 do
+    U.Core_index.Bitset.set unowned core
+  done;
   let t =
     {
       machine;
       profile;
       exec = None;
+      cindex = U.Core_index.create ~ncores:n;
+      unowned;
+      beown = U.Core_index.Bitset.create n;
       apps = Hashtbl.create 8;
       app_order = [];
+      lc_order = [];
+      be_order = [];
       owner = Array.make n None;
       stint_start = Array.make n 0;
       last_app = Array.make n None;
@@ -561,7 +603,7 @@ let make profile ~machine =
       on_run = (fun ~core th -> on_run t ~core th);
     }
   in
-  t.exec <- Some (U.Exec.create machine hooks);
+  t.exec <- Some (U.Exec.create ~index:t.cindex machine hooks);
   let sim = Hw.Machine.sim machine in
   t.preempt_tag <-
     Sim.register_handler sim (fun core overhead ->

@@ -24,7 +24,13 @@ let default_params =
 type app_state = {
   spec : Sched_intf.app_spec;
   uproc : U.Uprocess.t;
-  mutable workers : U.Uthread.t list;
+  (* Workers by spawn-ordered slot; [pset] tracks which are Parked (the
+     bit flips inside Uthread.set_state), so "newest parked worker" —
+     what the old newest-first [List.find_opt] walk returned — is one
+     highest-bit scan. *)
+  pset : U.Core_index.Pset.t;
+  mutable workers_arr : U.Uthread.t array;
+  mutable nworkers : int;
   mutable backlog_probe : (unit -> int) option;
 }
 
@@ -34,7 +40,17 @@ type t = {
   rt : U.Runtime.t;
   params : params;
   cores : int array; (* the subset of the machine this domain manages *)
+  (* [fast]: the managed set is strictly ascending (and the scan delays
+     nonnegative), so the runtime's core index answers placement queries
+     with the legacy walks' exact tie-breaks. [mask] is the managed set
+     as machine-wide bits for intersecting with the index's idle/BE
+     bitsets. *)
+  fast : bool;
+  mask : U.Core_index.Bitset.t;
   apps : (int, app_state) Hashtbl.t;
+  (* Hashtbl.iter order over [apps], cached so the per-tick backlog scan
+     does not walk hash buckets; rebuilt on every [add_app]. *)
+  mutable apps_order : app_state array;
   image_rng : Rng.t;
   mutable rr : int; (* round-robin worker placement cursor *)
   mutable preempts : int;
@@ -52,13 +68,33 @@ let make ?(params = default_params) ?slots ?cores ~machine () =
         Array.of_list cs
     | None -> Array.init (Hw.Machine.ncores machine) Fun.id
   in
+  let ascending =
+    let ok = ref true in
+    for i = 1 to Array.length cores - 1 do
+      if cores.(i) <= cores.(i - 1) then ok := false
+    done;
+    !ok
+  in
+  (* Nonnegative delays guarantee an empty queue (delay 0) can never
+     trigger a scan action, which is what lets the fast scan skip
+     empty-queue cores. *)
+  let fast =
+    ascending && params.be_preempt_delay >= 0 && params.overload_delay >= 0
+  in
+  let mask = U.Core_index.Bitset.create (Hw.Machine.ncores machine) in
+  Array.iter (fun core -> U.Core_index.Bitset.set mask core) cores;
+  let rt = U.Manager.runtime mgr in
+  if fast then U.Core_index.track (U.Runtime.index rt) cores;
   {
     machine;
     mgr;
-    rt = U.Manager.runtime mgr;
+    rt;
     params;
     cores;
+    fast;
+    mask;
     apps = Hashtbl.create 8;
+    apps_order = [||];
     image_rng = Rng.split (Sim.rng (Hw.Machine.sim machine));
     rr = 0;
     preempts = 0;
@@ -114,7 +150,20 @@ let add_app t spec =
         (Format.asprintf "Vessel.add_app: %a" U.Manager.pp_create_error e)
   | Ok uproc ->
       Hashtbl.add t.apps spec.Sched_intf.id
-        { spec; uproc; workers = []; backlog_probe = None }
+        {
+          spec;
+          uproc;
+          pset = U.Core_index.Pset.create ();
+          workers_arr = [||];
+          nworkers = 0;
+          backlog_probe = None;
+        };
+      (* Refresh the cached iteration order (scan_backlogs must follow
+         Hashtbl.iter order exactly — wakes consume placement slots, so
+         app order is decision-relevant). *)
+      let acc = ref [] in
+      Hashtbl.iter (fun _ a -> acc := a :: !acc) t.apps;
+      t.apps_order <- Array.of_list (List.rev !acc)
 
 let add_worker t ~app_id ~name ~step =
   let a = app_state t app_id in
@@ -125,7 +174,15 @@ let add_worker t ~app_id ~name ~step =
       ~priority:(Sched_intf.priority_of_class a.spec.Sched_intf.class_)
       ~name ~step ~core
   in
-  a.workers <- th :: a.workers;
+  let slot = U.Core_index.Pset.register a.pset in
+  if slot >= Array.length a.workers_arr then begin
+    let arr = Array.make (max 4 (2 * Array.length a.workers_arr)) th in
+    Array.blit a.workers_arr 0 arr 0 a.nworkers;
+    a.workers_arr <- arr
+  end;
+  a.workers_arr.(slot) <- th;
+  a.nworkers <- slot + 1;
+  U.Uthread.track_parked th a.pset ~slot;
   th
 
 let core_runs_be t core =
@@ -136,8 +193,17 @@ let core_runs_be t core =
 (* Placement preference for a waking latency-critical worker: an idle
    core, else a core running best-effort work (which the runtime preempts
    immediately via Uintr — "B-app's core can be preempted just in time"),
-   else the shortest queue. *)
-let best_core t =
+   else the shortest queue.
+
+   [best_core_slow] is the original O(cores) walk, kept verbatim as the
+   reference (and the fallback for non-ascending core sets); the fast
+   path answers from the runtime's incremental index with the same
+   tie-breaks: lowest idle / lowest BE core (the downto loop's last
+   assignment), highest core id among minimum-length queues (the
+   strict-< high-to-low scan's first winner). Idle cores never enter the
+   legacy shortest-queue comparison, but [`Queue] is only reached when
+   no core is idle, where the tracked minimum coincides. *)
+let best_core_slow t =
   let shortest = ref t.cores.(0) and shortest_len = ref max_int in
   let be_core = ref None in
   let idle = ref None in
@@ -158,13 +224,30 @@ let best_core t =
   | None, Some core -> (core, `Preempt_be)
   | None, None -> (!shortest, `Queue)
 
+let best_core t =
+  if not t.fast then best_core_slow t
+  else begin
+    let ix = U.Runtime.index t.rt in
+    let idle =
+      U.Core_index.Bitset.first_and (U.Core_index.idle_bits ix) t.mask
+    in
+    if idle >= 0 then (idle, `Idle)
+    else begin
+      let be = U.Core_index.Bitset.first_and (U.Core_index.be_bits ix) t.mask in
+      if be >= 0 then (be, `Preempt_be)
+      else (U.Core_index.shortest ix, `Queue)
+    end
+  end
+
 let notify_app t ~app_id =
   let a = app_state t app_id in
-  match
-    List.find_opt (fun th -> U.Uthread.state th = U.Uthread.Parked) a.workers
-  with
-  | None -> ()
-  | Some th -> (
+  (* Highest parked slot = the newest parked worker, exactly what the
+     old [List.find_opt] over the newest-first list returned (including
+     killed-but-still-Parked threads, whose wake below no-ops). *)
+  match U.Core_index.Pset.highest a.pset with
+  | -1 -> ()
+  | slot -> (
+      let th = a.workers_arr.(slot) in
       let core, kind = best_core t in
       if !Probe.on then
         Probe.instant ~ts:(sched_now t) ~track:Vessel_obs.Track.Sched
@@ -193,30 +276,44 @@ let set_backlog_probe t ~app_id probe =
 
 (* Dataplane-assisted wake-ups: for each app whose exposed device queue
    reports a backlog, ready as many parked workers as there are waiting
-   items (notify_app only wakes one per arrival). *)
+   items (notify_app only wakes one per arrival). Runs every tick, so it
+   must not allocate: the wake count is min(depth, parked), the size of
+   the parked-worker list the old [List.filter] built. *)
 let scan_backlogs t =
-  Hashtbl.iter
-    (fun app_id a ->
-      match a.backlog_probe with
-      | None -> ()
-      | Some probe ->
-          let depth = probe () in
-          if depth > 0 then begin
-            let parked =
-              List.filter
-                (fun th -> U.Uthread.state th = U.Uthread.Parked)
-                a.workers
-            in
-            List.iteri
-              (fun i _th -> if i < depth then notify_app t ~app_id)
-              parked
-          end)
-    t.apps
+  let order = t.apps_order in
+  for i = 0 to Array.length order - 1 do
+    let a = Array.unsafe_get order i in
+    match a.backlog_probe with
+    | None -> ()
+    | Some probe ->
+        let depth = probe () in
+        if depth > 0 then begin
+          let parked = U.Core_index.Pset.count a.pset in
+          let n = if depth < parked then depth else parked in
+          for _ = 1 to n do
+            notify_app t ~app_id:a.spec.Sched_intf.id
+          done
+        end
+  done
 
 (* One scheduler pass: preempt best-effort threads blocking overloaded
-   cores, and spread queued work to underloaded cores. *)
+   cores, and spread queued work to underloaded cores. An empty-queue
+   core has head delay 0 and can trigger neither branch of [scan_core],
+   so the fast path walks only the nonempty bits — the tick's cost
+   follows the number of backlogged cores, not the core count. *)
 let rec scan t =
-  Array.iter (fun core -> scan_core t core) t.cores
+  if t.fast then begin
+    let ix = U.Runtime.index t.rt in
+    let rec go from =
+      let core = U.Core_index.next_nonempty ix ~from in
+      if core >= 0 then begin
+        scan_core t core;
+        go (core + 1)
+      end
+    in
+    go 0
+  end
+  else Array.iter (fun core -> scan_core t core) t.cores
 
 and scan_core t core =
   begin

@@ -31,11 +31,10 @@ let create ?(precision = 6) () =
 let index t v =
   if v < t.sub then v
   else begin
-    let bits =
-      let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + 1) in
-      go v 0
-    in
-    let m = bits - 1 - t.precision in
+    (* Branch-free MSB via the shared de Bruijn kernel: [record] sits on
+       every latency-sample path, and the old loop walked all the value's
+       bits (up to 63 iterations for wide values). *)
+    let m = Vessel_engine.Bits.msb v - t.precision in
     t.sub + (m * t.sub) + ((v lsr m) - t.sub)
   end
 

@@ -1,0 +1,98 @@
+(** Incremental core-state index: idle/BE-running bitsets and per-core
+    queue lengths with a maintained minimum, updated at the existing
+    Exec/Runtime state transitions so scheduler queries are O(1) de
+    Bruijn bit scans instead of O(cores) walks.
+
+    Tie-breaking is decision-identical to the walks it replaces: lowest
+    core id for idle/BE placement, highest core id among the
+    minimum-length cores for the shortest queue (the legacy [downto 0]
+    strict-< loop), verified by the qcheck differential test. *)
+
+(** Generic bitset over 32-bit words (used by Baseline's core-ownership
+    sets). Indices must be within the size given to [create]. *)
+module Bitset : sig
+  type t = int array
+
+  val words : int -> int
+  (** Number of 32-bit words covering [n] bits. *)
+
+  val create : int -> t
+  val set : t -> int -> unit
+  val clear : t -> int -> unit
+  val test : t -> int -> bool
+
+  val first : t -> int
+  (** Lowest set bit, or -1. *)
+
+  val first_and : t -> t -> int
+  (** Lowest bit set in both (arrays of equal length), or -1. *)
+
+  val next : t -> from:int -> int
+  (** Lowest set bit >= [from], or -1. *)
+
+  val last : t -> int
+  (** Highest set bit, or -1. *)
+
+  val count : t -> int
+end
+
+type t
+
+val create : ncores:int -> t
+val ncores : t -> int
+
+(** {2 Occupancy bits — maintained by Exec at core-state writes} *)
+
+val set_idle : t -> int -> bool -> unit
+val set_be : t -> int -> bool -> unit
+
+val first_idle : t -> int
+(** Lowest idle core, or -1. *)
+
+val first_be : t -> int
+(** Lowest core running a best-effort thread, or -1. *)
+
+val idle_bits : t -> Bitset.t
+(** The idle bitset itself, for intersection queries (do not mutate). *)
+
+val be_bits : t -> Bitset.t
+(** The BE-running bitset, for intersection queries (do not mutate). *)
+
+(** {2 Queue-length accounting — fed by Runtime at queue mutations} *)
+
+val track : t -> int array -> unit
+(** Begin minimum-length accounting over [cores] (ascending core ids,
+    the domain's managed set). Call once, before queries. *)
+
+val tracking : t -> bool
+
+val sync_len : t -> int -> int -> unit
+(** [sync_len t core l]: core's live queue length is now [l]. O(1). *)
+
+val len : t -> int -> int
+val min_len : t -> int
+
+val shortest : t -> int
+(** Highest core id among tracked cores at minimum queue length.
+    Requires [track]. *)
+
+val next_nonempty : t -> from:int -> int
+(** Lowest tracked core >= [from] with a nonempty queue, or -1. *)
+
+(** {2 Per-app parked-worker set}
+
+    Spawn-ordered slots; bits flip in [Uthread.set_state], so membership
+    is exactly "state = Parked". [highest] is the first Parked thread of
+    the newest-first worker list the legacy walks used. *)
+module Pset : sig
+  type t
+
+  val create : unit -> t
+
+  val register : t -> int
+  (** Allocate the next spawn-ordered slot. *)
+
+  val set : t -> int -> bool -> unit
+  val highest : t -> int
+  val count : t -> int
+end

@@ -60,6 +60,9 @@ type t = {
   machine : Hw.Machine.t;
   hooks : hooks;
   states : core_state array;
+  (* Incremental occupancy index: idle/BE bits maintained at every
+     core-state write so scheduler placement queries are bit scans. *)
+  index : Core_index.t option;
   mutable observer : (observation -> unit) option;
   (* Sim dispatch tags for the two hottest event kinds (segment
      completion and switch landing), registered once in [create] so the
@@ -85,6 +88,29 @@ let cat_counter = function
   | Stats.Cycle_account.Runtime -> "cycles.runtime"
   | Stats.Cycle_account.Kernel -> "cycles.kernel"
   | Stats.Cycle_account.Idle -> "cycles.idle"
+
+(* Single write point for core states: keeps the index's idle/BE bits in
+   lockstep. The BE bit mirrors [current]'s thread — including one being
+   switched in — matching the walks the index replaces. *)
+let set_cstate t ~core st =
+  (match t.index with
+  | None -> ()
+  | Some ix ->
+      let is_be th =
+        match Uthread.priority th with
+        | Uthread.Best_effort -> true
+        | Uthread.Latency_critical -> false
+      in
+      let idle, be =
+        match st with
+        | Idle _ -> (true, false)
+        | Executing { th; _ } -> (false, is_be th)
+        | Switching { next = Some th; _ } -> (false, is_be th)
+        | Switching { next = None; _ } | Stopped -> (false, false)
+      in
+      Core_index.set_idle ix core idle;
+      Core_index.set_be ix core be);
+  t.states.(core) <- st
 
 let charge t ~core cat d =
   if d > 0 then begin
@@ -162,7 +188,7 @@ let rec free_core t ~core ~kind ~extra =
       Sim.schedule_tagged_after (sim t) ~delay:overhead ~tag:t.switch_tag
         ~a:core ~b:overhead
     in
-    t.states.(core) <- Switching { next; handle; preempt_after = false }
+    set_cstate t ~core (Switching { next; handle; preempt_after = false })
   end
 
 and switch_landed t ~core ~overhead =
@@ -189,7 +215,7 @@ and land_switch t ~core ~next =
       match t.hooks.pick_next ~core with
       | Some th -> start_thread t ~core th
       | None ->
-          t.states.(core) <- Idle { since = now t };
+          set_cstate t ~core (Idle { since = now t });
           if !Probe.on then
             Probe.span_begin ~ts:(now t) ~track:(core_track core)
               ~name:Tag.idle ();
@@ -268,7 +294,7 @@ and run_timed t ~core th action ~effective =
     Sim.schedule_tagged_after (sim t) ~delay:effective ~tag:t.complete_tag
       ~a:core ~b:0
   in
-  t.states.(core) <- Executing { th; action; started; effective; handle }
+  set_cstate t ~core (Executing { th; action; started; effective; handle })
 
 and complete_segment t ~core th action ~effective =
   if !Probe.on then Probe.span_end ~ts:(now t) ~track:(core_track core);
@@ -369,12 +395,13 @@ and notify t ~core =
       free_core t ~core ~kind:Idle_wake ~extra:wake
   | Stopped | Switching _ | Executing _ -> ()
 
-let create machine hooks =
+let create ?index machine hooks =
   let t =
     {
       machine;
       hooks;
       states = Array.make (Hw.Machine.ncores machine) Stopped;
+      index;
       observer = None;
       complete_tag = -1;
       switch_tag = -1;
@@ -431,7 +458,7 @@ let stop t ~core =
   (match t.states.(core) with
   | Idle _ -> Hw.Umwait.wake (Hw.Core.umwait (hw_core t core)) ~at:(now t)
   | _ -> ());
-  t.states.(core) <- Stopped
+  set_cstate t ~core Stopped
 
 let running_threads t =
   Array.to_list t.states

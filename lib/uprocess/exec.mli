@@ -52,7 +52,9 @@ val default_hooks : unit -> hooks
 
 type t
 
-val create : Vessel_hw.Machine.t -> hooks -> t
+val create : ?index:Core_index.t -> Vessel_hw.Machine.t -> hooks -> t
+(** [?index]: an incremental core-state index whose idle/BE occupancy
+    bits the executor maintains at every core-state transition. *)
 
 val machine : t -> Vessel_hw.Machine.t
 

@@ -19,6 +19,10 @@ type t = {
   runtime_map : Mem.Addr.t;
   vector : Mem.Addr.t;
   runtime_pkru : Hw.Pkru.t;
+  (* Scratch for [set_task]'s 16-byte writes: [Smas.write] copies the
+     bytes in before returning, so one reusable buffer serves the whole
+     dispatch/deschedule path without per-switch allocation. *)
+  task_scratch : Bytes.t;
 }
 
 let page_ceil n = Mem.Addr.align_up n Hw.Page.size
@@ -41,6 +45,7 @@ let create smas ~ncores =
       runtime_map;
       vector;
       runtime_pkru = Mem.Smas.pkru_runtime smas;
+      task_scratch = Bytes.create task_entry;
     }
   in
   (* Initialize: no tasks, no stacks, empty vector. *)
@@ -74,7 +79,7 @@ let write_exn t ~addr b =
 
 let set_task t ~core ~tid ~pkru =
   check_core t core;
-  let b = Bytes.create task_entry in
+  let b = t.task_scratch in
   Bytes.set_int64_le b 0 (Int64.of_int tid);
   Bytes.set_int64_le b 8 (Int64.of_int (Hw.Pkru.to_int pkru));
   write_exn t ~addr:(t.task_map + (core * task_entry)) b

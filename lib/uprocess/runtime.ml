@@ -15,6 +15,10 @@ type t = {
   signals : Signal.t;
   syscalls : Syscall.t;
   mutable exec : Exec.t option; (* tied after hooks exist *)
+  (* Incremental core-state index: Exec maintains the idle/BE bits; the
+     queue-mutation sites below keep the per-core lengths in sync so
+     scheduler placement is O(1) instead of an O(cores) walk. *)
+  index : Core_index.t;
   core_queues : Task_queue.t array;
   be_queue : Task_queue.t;
   uprocs : (int, Uprocess.t) Hashtbl.t;
@@ -38,6 +42,13 @@ let syscalls t = t.syscalls
 let signals t = t.signals
 let ncores t = Hw.Machine.ncores t.machine
 let now t = Hw.Machine.now t.machine
+
+let index t = t.index
+
+(* Mirror [core]'s live queue length into the index. Called after every
+   mutation of a per-core queue (the global BE queue is not indexed). *)
+let sync_len t ~core =
+  Core_index.sync_len t.index core (Task_queue.length t.core_queues.(core))
 
 let uprocess t ~slot = Hashtbl.find_opt t.uprocs slot
 let thread t ~tid = Hashtbl.find_opt t.threads tid
@@ -84,6 +95,7 @@ let apply_command t ~core = function
               Uthread.set_state th Uthread.Ready;
               if not (Task_queue.mem t.core_queues.(core) th) then begin
                 Task_queue.push_front t.core_queues.(core) th ~now:(now t);
+                sync_len t ~core;
                 (* A uintr-carried Run_thread resuming a preempted
                    request: the wake transition is request-attributable. *)
                 let c = Uthread.ctx th in
@@ -136,9 +148,10 @@ let rec pop_live t q =
 
 let pick_next t ~core =
   ignore (process_commands t ~core);
-  match pop_live t t.core_queues.(core) with
-  | Some th -> Some th
-  | None -> pop_live t t.be_queue
+  let r = pop_live t t.core_queues.(core) in
+  (* pop_live may also have dropped dead entries: re-sync the length. *)
+  sync_len t ~core;
+  match r with Some _ -> r | None -> pop_live t t.be_queue
 
 (* --- executor hooks --- *)
 
@@ -216,7 +229,8 @@ let on_preempted t ~core th =
            (Figure 7b). *)
         Task_queue.push t.be_queue th ~now:(now t)
     | Uthread.Latency_critical ->
-        Task_queue.push t.core_queues.(core) th ~now:(now t)
+        Task_queue.push t.core_queues.(core) th ~now:(now t);
+        sync_len t ~core
 
 let on_exit t ~core:_ th = finalize_exit t th
 
@@ -259,6 +273,7 @@ let create ~machine ~smas () =
       signals = Signal.create ~ncores:n;
       syscalls = Syscall.create ();
       exec = None;
+      index = Core_index.create ~ncores:n;
       (* Deterministic probe ids: core index for the per-core queues, the
          core count for the global best-effort queue. *)
       core_queues = Array.init n (fun i -> Task_queue.create ~id:i ());
@@ -288,7 +303,7 @@ let create ~machine ~smas () =
       on_descheduled = (fun ~core th -> on_descheduled t ~core th);
     }
   in
-  t.exec <- Some (Exec.create machine hooks);
+  t.exec <- Some (Exec.create ~index:t.index machine hooks);
   (* Posted user interrupts reach their handler after the delivery
      latency; delivery is a tagged event so each senduipi is
      allocation-free. *)
@@ -406,7 +421,8 @@ let spawn t ~uproc ~app ~priority ~name ~step ~stack ~core =
   (match priority with
   | Uthread.Best_effort -> Task_queue.push t.be_queue th ~now:(now t)
   | Uthread.Latency_critical ->
-      Task_queue.push t.core_queues.(core) th ~now:(now t));
+      Task_queue.push t.core_queues.(core) th ~now:(now t);
+      sync_len t ~core);
   Exec.notify (get_exec t) ~core;
   th
 
@@ -414,6 +430,7 @@ let wake_thread t th ~core =
   if Uthread.state th = Uthread.Parked && not (is_dead t th) then begin
     Uthread.set_state th Uthread.Ready;
     Task_queue.push t.core_queues.(core) th ~now:(now t);
+    sync_len t ~core;
     let c = Uthread.ctx th in
     if !Vessel_obs.Probe.req_on && c <> Request.none then begin
       let c = Request.with_phase c Request.Wake in
@@ -433,18 +450,20 @@ let assign t th ~core =
   if Uthread.state th <> Uthread.Ready then
     invalid_arg "Runtime.assign: thread not Ready";
   Task_queue.push t.core_queues.(core) th ~now:(now t);
+  sync_len t ~core;
   Exec.notify (get_exec t) ~core
 
 let assign_be t th =
   Task_queue.push t.be_queue th ~now:(now t);
-  (* Wake one idle core, if any, to pick it up. *)
-  let rec wake core =
-    if core < ncores t then
-      if is_idle t ~core then Exec.notify (get_exec t) ~core else wake (core + 1)
-  in
-  wake 0
+  (* Wake the lowest-id idle core, if any, to pick it up — the same core
+     the old ascending is_idle walk found, now a single bit scan. *)
+  let core = Core_index.first_idle t.index in
+  if core >= 0 then Exec.notify (get_exec t) ~core
 
-let steal_queued t ~core = pop_live t t.core_queues.(core)
+let steal_queued t ~core =
+  let r = pop_live t t.core_queues.(core) in
+  sync_len t ~core;
+  r
 
 let set_idle_callback t f = t.idle_callback <- Some f
 let switch_latencies t = t.park_hist

@@ -32,6 +32,13 @@ val exec : t -> Exec.t
 val syscalls : t -> Syscall.t
 val signals : t -> Signal.t
 
+val index : t -> Core_index.t
+(** The runtime's incremental core-state index: idle/BE occupancy bits
+    (maintained by the executor) and per-core queue lengths (maintained
+    at every queue mutation). A scheduler that manages a contiguous
+    ascending core set can [Core_index.track] it to get O(1)
+    shortest-queue placement. *)
+
 val start : ?cores:int list -> t -> unit
 (** Start the execute loop on the given cores (default: all). A domain
     configured over a subset of the machine leaves the rest to other

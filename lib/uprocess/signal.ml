@@ -23,12 +23,17 @@ let push t ~core cmd =
 let drain t ~core =
   check t core;
   let q = t.queues.(core) in
-  let rec go acc =
-    match Queue.pop q with
-    | exception Queue.Empty -> List.rev acc
-    | c -> go (c :: acc)
-  in
-  go []
+  (* Polled at every privileged entry; almost always empty, so skip the
+     exception-terminated pop loop entirely. *)
+  if Queue.is_empty q then []
+  else begin
+    let rec go acc =
+      match Queue.pop q with
+      | exception Queue.Empty -> List.rev acc
+      | c -> go (c :: acc)
+    in
+    go []
+  end
 
 let pending t ~core =
   check t core;

@@ -29,12 +29,18 @@ type t = {
   mutable app_ns : int;
   mutable killed : bool;
   mutable ctx : Vessel_obs.Request.t;
+  (* Intrusive parked-set membership: schedulers that register the
+     thread in a Core_index.Pset get the bit maintained at the single
+     state chokepoint below, whatever path flips the state. *)
+  mutable pset : Core_index.Pset.t option;
+  mutable pslot : int;
 }
 
 let create ~tid ~app ~uproc ?name ~priority ~step () =
   let name = match name with Some n -> n | None -> Printf.sprintf "t%d" tid in
   { tid; app; uproc; name; priority; step; state = Ready; remainder = None;
-    app_ns = 0; killed = false; ctx = Vessel_obs.Request.none }
+    app_ns = 0; killed = false; ctx = Vessel_obs.Request.none;
+    pset = None; pslot = -1 }
 
 let tid t = t.tid
 let app t = t.app
@@ -42,7 +48,21 @@ let uproc t = t.uproc
 let name t = t.name
 let priority t = t.priority
 let state t = t.state
-let set_state t s = t.state <- s
+
+let is_parked = function Parked -> true | _ -> false
+
+let set_state t s =
+  (match t.pset with
+  | None -> ()
+  | Some p ->
+      let was = is_parked t.state and now_ = is_parked s in
+      if was <> now_ then Core_index.Pset.set p t.pslot now_);
+  t.state <- s
+
+let track_parked t p ~slot =
+  t.pset <- Some p;
+  t.pslot <- slot;
+  if is_parked t.state then Core_index.Pset.set p slot true
 let mark_killed t = t.killed <- true
 let is_killed t = t.killed
 

@@ -58,7 +58,15 @@ val name : t -> string
 val priority : t -> priority
 
 val state : t -> state
+
 val set_state : t -> state -> unit
+(** The single state chokepoint: also maintains the thread's bit in a
+    registered parked-worker set (see {!track_parked}). *)
+
+val track_parked : t -> Core_index.Pset.t -> slot:int -> unit
+(** Register this thread's membership slot in an app's parked-worker
+    set. From now on [set_state] keeps bit [slot] equal to
+    "state = Parked" (seeded from the current state). *)
 
 val mark_killed : t -> unit
 (** Sticky termination mark, independent of the scheduling state (which

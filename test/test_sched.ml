@@ -498,6 +498,216 @@ let test_vessel_backlog_probe () =
     (p99_with * 2 < p99_without)
 
 (* ------------------------------------------------------------------ *)
+(* Core_index differential property (the tie-break contract).
+
+   The incremental index must answer every scheduler query identically
+   to a fresh O(cores) scan of the same state, for any interleaving of
+   the transitions that maintain it. The reference scans below are the
+   legacy walks the index replaced, verbatim in their tie-breaking:
+   lowest id for idle/BE placement, highest id among minima for the
+   shortest queue (the old [downto 0] strict-< loop), ascending cursor
+   for the overload scan. Queue lengths go up to 40 so the >= cap
+   overflow bucket (cap = 32) and its exact-rescan fallback are hit. *)
+
+type ci_op = Ci_idle of int * bool | Ci_be of int * bool | Ci_len of int * int
+
+let ci_op_gen ncores =
+  QCheck.Gen.(
+    int_bound (ncores - 1) >>= fun core ->
+    int_bound 99 >>= fun k ->
+    if k < 30 then bool >>= fun b -> return (Ci_idle (core, b))
+    else if k < 60 then bool >>= fun b -> return (Ci_be (core, b))
+    else int_bound 40 >>= fun l -> return (Ci_len (core, l)))
+
+let ci_case_print (ncores, subset, ops) =
+  Printf.sprintf "ncores=%d subset=%b [%s]" ncores subset
+    (String.concat "; "
+       (List.map
+          (function
+            | Ci_idle (c, b) -> Printf.sprintf "idle %d %b" c b
+            | Ci_be (c, b) -> Printf.sprintf "be %d %b" c b
+            | Ci_len (c, l) -> Printf.sprintf "len %d %d" c l)
+          ops))
+
+let ci_case_gen =
+  QCheck.Gen.(
+    oneofl [ 8; 64; 512 ] >>= fun ncores ->
+    bool >>= fun subset ->
+    list_size (int_range 1 250) (ci_op_gen ncores) >>= fun ops ->
+    return (ncores, subset, ops))
+
+let prop_core_index_differential =
+  QCheck.Test.make ~count:100
+    ~name:"core index == fresh O(cores) scan (both query shapes)"
+    (QCheck.make ~print:ci_case_print ci_case_gen)
+    (fun (ncores, subset, ops) ->
+      let module CI = U.Core_index in
+      let ix = CI.create ~ncores in
+      (* Vessel tracks its managed subset; Baseline tracks the whole
+         machine. The subset case also exercises the tmask filtering
+         and the mask-intersection placement query. *)
+      let tracked =
+        if subset then
+          Array.of_list
+            (List.filter (fun c -> c mod 3 <> 1) (List.init ncores Fun.id))
+        else Array.init ncores Fun.id
+      in
+      CI.track ix tracked;
+      let is_tracked = Array.make ncores false in
+      Array.iter (fun c -> is_tracked.(c) <- true) tracked;
+      let mask = CI.Bitset.create ncores in
+      Array.iter (fun c -> CI.Bitset.set mask c) tracked;
+      let idle = Array.make ncores false
+      and be = Array.make ncores false
+      and lens = Array.make ncores 0 in
+      let ref_first a =
+        let r = ref (-1) in
+        for i = ncores - 1 downto 0 do
+          if a.(i) then r := i
+        done;
+        !r
+      in
+      let ref_first_masked a =
+        let r = ref (-1) in
+        for i = ncores - 1 downto 0 do
+          if a.(i) && is_tracked.(i) then r := i
+        done;
+        !r
+      in
+      let ref_shortest () =
+        (* ascending with <= keeps the later core on ties: the highest
+           id among the minimum-length tracked cores, exactly the old
+           [downto 0] strict-< walk's winner. *)
+        let best = ref (-1) and bl = ref Stdlib.max_int in
+        for c = 0 to ncores - 1 do
+          if is_tracked.(c) && lens.(c) <= !bl then begin
+            best := c;
+            bl := lens.(c)
+          end
+        done;
+        !best
+      in
+      let ref_next_nonempty from =
+        let r = ref (-1) in
+        for c = ncores - 1 downto from do
+          if is_tracked.(c) && lens.(c) > 0 then r := c
+        done;
+        !r
+      in
+      let fail q got want =
+        QCheck.Test.fail_reportf "%s: index=%d scan=%d" q got want
+      in
+      let check q got want = if got <> want then fail q got want in
+      let check_queries () =
+        check "first_idle" (CI.first_idle ix) (ref_first idle);
+        check "first_be" (CI.first_be ix) (ref_first be);
+        (* Vessel's best_core shape over a managed subset. *)
+        check "idle&mask"
+          (CI.Bitset.first_and (CI.idle_bits ix) mask)
+          (ref_first_masked idle);
+        check "be&mask"
+          (CI.Bitset.first_and (CI.be_bits ix) mask)
+          (ref_first_masked be);
+        check "shortest" (CI.shortest ix) (ref_shortest ());
+        check "next_nonempty 0" (CI.next_nonempty ix ~from:0)
+          (ref_next_nonempty 0);
+        check "next_nonempty mid"
+          (CI.next_nonempty ix ~from:(ncores / 2))
+          (ref_next_nonempty (ncores / 2));
+        check "next_nonempty last"
+          (CI.next_nonempty ix ~from:(ncores - 1))
+          (ref_next_nonempty (ncores - 1))
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Ci_idle (c, b) ->
+              CI.set_idle ix c b;
+              idle.(c) <- b
+          | Ci_be (c, b) ->
+              CI.set_be ix c b;
+              be.(c) <- b
+          | Ci_len (c, l) ->
+              CI.sync_len ix c l;
+              lens.(c) <- l);
+          check_queries ())
+        ops;
+      true)
+
+(* Pset differential: highest set slot must equal the slot the legacy
+   List.find_opt over the newest-first worker list would have found. *)
+let prop_pset_matches_list =
+  QCheck.Test.make ~count:200 ~name:"pset highest == newest-first find_opt"
+    QCheck.(list (pair (int_bound 99) bool))
+    (fun ops ->
+      let module P = U.Core_index.Pset in
+      let p = P.create () in
+      let slots = 40 in
+      let taken = Array.make slots false in
+      for _ = 1 to slots do
+        ignore (P.register p)
+      done;
+      List.iter
+        (fun (slot, on) ->
+          let slot = slot mod slots in
+          P.set p slot on;
+          taken.(slot) <- on)
+        ops;
+      let ref_highest = ref (-1) in
+      for i = 0 to slots - 1 do
+        if taken.(i) then ref_highest := i
+      done;
+      let ref_count =
+        Array.fold_left (fun a b -> if b then a + 1 else a) 0 taken
+      in
+      P.highest p = !ref_highest && P.count p = ref_count)
+
+(* Scan/backlog allocation budget. Workers whose step returns a
+   preallocated action contribute nothing, so minor-heap traffic under a
+   permanently-deep backlog probe is the scheduler's own: the scan tick
+   (now a bitset cursor), scan_backlogs (now Pset counts over a cached
+   app array) and the wake/park dispatch path. Measured ~59 words/event;
+   the budget has headroom for queue/accounting noise but fails on any
+   per-tick list walk (the old List.filter + List.find_opt backlog scan)
+   or a constant quietly recomputed per switch (e.g. the runtime PKRU's
+   grant-list rebuild this budget flushed out). *)
+let test_vessel_backlog_scan_alloc_budget () =
+  let sim = Sim.create ~seed:91 () in
+  let machine = Hw.Machine.create ~cores:4 sim in
+  let v = S.Vessel.make ~machine () in
+  let sys = S.Vessel.system v in
+  let spec =
+    { S.Sched_intf.id = 1; name = "srv"; class_ = S.Sched_intf.Latency_critical }
+  in
+  sys.S.Sched_intf.add_app spec;
+  let park = U.Uthread.Park in
+  for i = 0 to 3 do
+    ignore
+      (sys.S.Sched_intf.add_worker ~app_id:1
+         ~name:(Printf.sprintf "w%d" i)
+         ~step:(fun ~now:_ -> park))
+  done;
+  (* A probe that always reports depth: every scan tick wakes all parked
+     workers, which immediately park again — a pure scheduler churn
+     loop. *)
+  S.Vessel.set_backlog_probe v ~app_id:1 (fun () -> 16);
+  sys.S.Sched_intf.start ();
+  Sim.run_until sim 1_000_000;
+  (* Warmed up; measure a long steady-state window. *)
+  let e0 = Sim.total_events_executed () in
+  let w0 = Gc.minor_words () in
+  Sim.run_until sim 50_000_000;
+  let words = Gc.minor_words () -. w0 in
+  let events = Sim.total_events_executed () - e0 in
+  sys.S.Sched_intf.stop ();
+  check_bool "scheduler churned" true (events > 10_000);
+  let per_event = words /. float_of_int events in
+  check_bool
+    (Printf.sprintf "backlog scan allocation budget (%.1f words/event, %d events, %.0f words)"
+       per_event events words)
+    true (per_event < 80.)
+
+(* ------------------------------------------------------------------ *)
 (* Vessel negative paths: every invalid_arg branch in the public API. *)
 
 let expect_invalid_arg name f =
@@ -549,6 +759,8 @@ let suite =
           test_vessel_switch_latencies_table1;
         Alcotest.test_case "dataplane backlog probe (5.2.5)" `Quick
           test_vessel_backlog_probe;
+        Alcotest.test_case "backlog scan allocation budget" `Quick
+          test_vessel_backlog_scan_alloc_budget;
         Alcotest.test_case "empty core set rejected" `Quick
           test_vessel_empty_core_set;
         Alcotest.test_case "unknown app rejected" `Quick test_vessel_unknown_app;
@@ -575,6 +787,11 @@ let suite =
         Alcotest.test_case "fair sharing" `Quick test_cfs_fair_sharing_by_weight;
         Alcotest.test_case "LC ms tails under BE (Fig 9)" `Quick
           test_cfs_lc_sees_ms_tails;
+      ] );
+    ( "sched.core_index",
+      [
+        QCheck_alcotest.to_alcotest prop_core_index_differential;
+        QCheck_alcotest.to_alcotest prop_pset_matches_list;
       ] );
     ( "sched.internals",
       [

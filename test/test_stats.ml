@@ -101,6 +101,79 @@ let prop_hist_mean_exact =
       in
       Float.abs (Histogram.mean h -. expect) < 1e-6 *. (1. +. expect))
 
+(* Exhaustive check of the branch-free bucketing against the loop it
+   replaced. [Bits.msb] must agree with a one-bit-at-a-time scan on
+   every representable magnitude, and the histogram's bucket floor
+   (observable through percentile of a single recorded value) must
+   match the reference index formula computed with the naive msb — at
+   every sub-bucket lower bound of every magnitude row, and one on
+   either side of it. *)
+
+let msb_naive v =
+  let k = ref 0 and x = ref v in
+  while !x > 1 do
+    incr k;
+    x := !x lsr 1
+  done;
+  !k
+
+let test_hist_index_exhaustive () =
+  let precision = 6 in
+  let sub = 1 lsl precision in
+  (* Reference bucket floor: the value the old loop-based index mapped
+     [v] to (identity below [sub], top [precision+1] bits kept above). *)
+  let ref_floor v =
+    if v < sub then v
+    else begin
+      let m = msb_naive v - precision in
+      (v lsr m) lsl m
+    end
+  in
+  let checked = ref 0 in
+  let check_v v =
+    if v >= 0 then begin
+      let h = Histogram.create ~precision () in
+      Histogram.record h v;
+      check_int (Printf.sprintf "bucket floor of %d" v) (ref_floor v)
+        (Histogram.percentile h 50.);
+      incr checked
+    end
+  in
+  (* Magnitudes 0..61 cover every positive OCaml int (max_int = 2^62-1);
+     small values below one full row are exact. *)
+  for v = 0 to (2 * sub) + 1 do
+    check_v v
+  done;
+  for k = precision to 61 do
+    check_int (Printf.sprintf "msb of 2^%d" k) k (msb_naive (1 lsl k));
+    check_int
+      (Printf.sprintf "Bits.msb of 2^%d" k)
+      k
+      (Vessel_engine.Bits.msb (1 lsl k));
+    for col = 0 to sub - 1 do
+      (* Sub-bucket lower bound in magnitude row [k - precision]. *)
+      let v = (sub + col) lsl (k - precision) in
+      check_v (v - 1);
+      check_v v;
+      check_v (v + 1)
+    done
+  done;
+  check_v max_int;
+  check_v (max_int - 1);
+  (* Bits.msb against the naive scan on both sides of every power. *)
+  for k = 0 to 61 do
+    List.iter
+      (fun v ->
+        if v > 0 then
+          check_int
+            (Printf.sprintf "Bits.msb %d" v)
+            (msb_naive v)
+            (Vessel_engine.Bits.msb v))
+      [ (1 lsl k) - 1; 1 lsl k; (1 lsl k) + 1 ]
+  done;
+  check_bool "covered all rows" true
+    (!checked > (61 - precision + 1) * sub * 3)
+
 (* ------------------------------------------------------------------ *)
 (* Summary *)
 
@@ -277,6 +350,8 @@ let suite =
         Alcotest.test_case "merge" `Quick test_hist_merge;
         Alcotest.test_case "clear" `Quick test_hist_clear;
         Alcotest.test_case "negative rejected" `Quick test_hist_negative_rejected;
+        Alcotest.test_case "index exhaustive vs naive msb" `Quick
+          test_hist_index_exhaustive;
         QCheck_alcotest.to_alcotest prop_hist_percentile_bounded;
         QCheck_alcotest.to_alcotest prop_hist_mean_exact;
       ] );
