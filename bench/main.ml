@@ -45,6 +45,7 @@ let experiments ~seed : (string * (unit -> unit)) list =
         Exp_ablation.print_switch_cost (Exp_ablation.run_switch_cost ~seed ());
         Exp_ablation.print_policy (Exp_ablation.run_policy ~seed ()) );
     ("burst", fun () -> Exp_burst.print (Exp_burst.run ~seed ()));
+    ("gaps", fun () -> Exp_gaps.print (Exp_gaps.run ~seed ()));
     ("fleet", fun () -> Exp_fleet.print (Exp_fleet.run ~seed ()));
   ]
 

@@ -7,7 +7,7 @@
 open Cmdliner
 open Vessel_experiments
 
-let version = "1.4.0"
+let version = "1.5.0"
 
 let seed =
   let doc = "Root RNG seed; every run is deterministic given the seed." in
@@ -134,6 +134,46 @@ let run_fleet seed machines cores policies =
   Exp_fleet.print
     (Exp_fleet.run ~seed ~backends:machines ~cores ~policies ())
 
+(* --- gaps: schedgaps-style execution-gap & fairness regression ------ *)
+
+let gaps_schedulers =
+  let doc =
+    "Comma-separated scheduler ids to sweep: $(b,vessel), $(b,caladan), \
+     $(b,caladan-dr-l), $(b,caladan-dr-h), $(b,arachne), $(b,linux-cfs)."
+  in
+  let sched_conv =
+    Arg.conv
+      ( (fun s ->
+          match
+            List.find_opt
+              (fun k -> String.equal (Runner.sched_name k) s)
+              Runner.all_systems
+          with
+          | Some k -> Ok k
+          | None -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))),
+        fun ppf k -> Format.pp_print_string ppf (Runner.sched_name k) )
+  in
+  Arg.(
+    value
+    & opt (list sched_conv) Exp_gaps.default_systems
+    & info [ "schedulers" ] ~docv:"S,S" ~doc)
+
+let gaps_duties =
+  let doc = "Comma-separated burst duty cycles (burst_len / period)." in
+  Arg.(
+    value
+    & opt (list float) Exp_gaps.default_duties
+    & info [ "duties" ] ~docv:"D,D" ~doc)
+
+let gaps_duration =
+  let doc = "Simulated milliseconds per sweep point." in
+  Arg.(value & opt int 50 & info [ "duration-ms" ] ~docv:"MS" ~doc)
+
+let run_gaps seed cores systems duties duration_ms =
+  Exp_gaps.print
+    (Exp_gaps.run ~seed ~cores ~systems ~duties
+       ~duration:(duration_ms * 1_000_000) ())
+
 (* --- check: fault-injection sweep with runtime invariant checking --- *)
 
 let check_seeds =
@@ -161,7 +201,8 @@ let check_scenario =
   let doc =
     "Scenario: $(b,fig1) (Caladan colocation), $(b,fig9) (VESSEL \
      colocation), $(b,gate) (call-gate crossings), $(b,fleet) \
-     (multi-machine cluster behind a load balancer) or $(b,all)."
+     (multi-machine cluster behind a load balancer), $(b,gaps) \
+     (gap tracer under bursty colocation) or $(b,all)."
   in
   let scenario_conv =
     Arg.enum
@@ -240,6 +281,10 @@ let command_table =
        with_common (fun seed cores ->
            Exp_burst.print (Exp_burst.run ~seed ~cores ()))
        $ seed $ cores));
+    ("gaps", "Execution gaps & fairness under bursty colocation",
+     Term.(
+       with_common run_gaps $ seed $ cores $ gaps_schedulers $ gaps_duties
+       $ gaps_duration));
     ("fleet", "Fleet: machines under one clock behind a load balancer",
      Term.(
        with_common run_fleet $ seed $ fleet_machines $ fleet_cores

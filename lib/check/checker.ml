@@ -8,6 +8,7 @@ module Hw = Vessel_hw
 type config = {
   wakeup_bound : int;
   starvation_bound : int;
+  gap_bound : int;
   conservation_tol : float;
   max_violations : int;
 }
@@ -23,6 +24,11 @@ let default_config =
        load, so the liveness bound is generous: an LC thread sitting
        ready for 5 ms means the preemption path is broken, not slow. *)
     starvation_bound = 5_000_000;
+    (* Execution-gap bound, measured enqueue -> dispatch (not enqueue ->
+       pop like starvation: a popped-but-never-run thread still counts).
+       Same liveness reasoning as above — queueing under burst load is
+       legitimate, a multi-ms runnable-but-unscheduled window is not. *)
+    gap_bound = 5_000_000;
     conservation_tol = 0.02;
     max_violations = 16;
   }
@@ -58,6 +64,11 @@ type t = {
   mutable violations : violation list; (* newest first *)
   pending_sends : (int, int) Hashtbl.t; (* core -> first unmatched send ts *)
   lc_ready : (int, int) Hashtbl.t; (* tid -> ready-since ts *)
+  (* Like [lc_ready] but cleared only by a dispatch stamp (queue_pop
+     does not clear it): the execution-gap invariant measures the full
+     enqueue -> on-CPU window, so the scheduler does not get credit for
+     popping a thread it never actually ran. *)
+  gap_ready : (int, int) Hashtbl.t; (* tid -> ready-since ts *)
   queues : (int, qmodel) Hashtbl.t;
   core_pkru : (int, int) Hashtbl.t; (* core -> pkru of last dispatch *)
   mutable last_scan : int;
@@ -73,13 +84,16 @@ let create ?(config = default_config) () =
   {
     config;
     scan_every =
-      max 1_000 (min config.wakeup_bound config.starvation_bound / 2);
+      max 1_000
+        (min config.wakeup_bound (min config.starvation_bound config.gap_bound)
+        / 2);
     now = 0;
     events = 0;
     total = 0;
     violations = [];
     pending_sends = Hashtbl.create 8;
     lc_ready = Hashtbl.create 64;
+    gap_ready = Hashtbl.create 64;
     queues = Hashtbl.create 8;
     core_pkru = Hashtbl.create 8;
     last_scan = 0;
@@ -184,7 +198,16 @@ let scan t =
            "tid %d: latency-critical, ready since %d, undisputed for %d ns \
             (bound %d)"
            tid ts (t.now - ts) t.config.starvation_bound))
-    (aged t.lc_ready ~now:t.now ~bound:t.config.starvation_bound)
+    (aged t.lc_ready ~now:t.now ~bound:t.config.starvation_bound);
+  List.iter
+    (fun (tid, ts) ->
+      Hashtbl.remove t.gap_ready tid;
+      violate t ~at:t.now ~invariant:"gap"
+        (Printf.sprintf
+           "tid %d: latency-critical, runnable since %d, unscheduled for %d \
+            ns (bound %d)"
+           tid ts (t.now - ts) t.config.gap_bound))
+    (aged t.gap_ready ~now:t.now ~bound:t.config.gap_bound)
 
 let core_of = function Track.Core c -> Some c | _ -> None
 
@@ -202,7 +225,19 @@ let on_instant t ~ts ~track ~name ~args =
     | None -> ())
   else if String.equal name Tag.dispatch then begin
     (match arg_int args "tid" with
-    | Some tid -> Hashtbl.remove t.lc_ready tid
+    | Some tid -> (
+        Hashtbl.remove t.lc_ready tid;
+        match Hashtbl.find_opt t.gap_ready tid with
+        | Some ready ->
+            Hashtbl.remove t.gap_ready tid;
+            (* The exact gap, measured at the dispatch that closes it. *)
+            if ts - ready > t.config.gap_bound then
+              violate t ~at:ts ~invariant:"gap"
+                (Printf.sprintf
+                   "tid %d: latency-critical, runnable since %d, dispatched \
+                    only after %d ns (bound %d)"
+                   tid ready (ts - ready) t.config.gap_bound)
+        | None -> ())
     | None -> ());
     match (core_of track, arg_int args "pkru") with
     | Some core, Some pkru -> Hashtbl.replace t.core_pkru core pkru
@@ -216,9 +251,15 @@ let on_instant t ~ts ~track ~name ~args =
         let m = qmodel t q in
         if String.equal name Tag.queue_push then model_push m tid
         else model_push_front m tid;
-        if arg_int args "lc" = Some 1 && not (Hashtbl.mem t.lc_ready tid) then
-          Hashtbl.add t.lc_ready tid
-            (match arg_int args "at" with Some at -> at | None -> ts)
+        if arg_int args "lc" = Some 1 then begin
+          let at =
+            match arg_int args "at" with Some at -> at | None -> ts
+          in
+          if not (Hashtbl.mem t.lc_ready tid) then
+            Hashtbl.add t.lc_ready tid at;
+          if not (Hashtbl.mem t.gap_ready tid) then
+            Hashtbl.add t.gap_ready tid at
+        end
     | _ -> ())
   else if String.equal name Tag.queue_pop then (
     match (arg_int args "q", arg_int args "tid") with
@@ -240,6 +281,7 @@ let on_instant t ~ts ~track ~name ~args =
     match (arg_int args "q", arg_int args "tid") with
     | Some q, Some tid ->
         Hashtbl.remove t.lc_ready tid;
+        Hashtbl.remove t.gap_ready tid;
         model_remove (qmodel t q) tid
     | _ -> ())
   else if String.equal name Tag.cluster_epoch then (

@@ -9,6 +9,11 @@
       a privileged entry) within [wakeup_bound] ns;
     - {b starvation} — no latency-critical thread sits ready in a task
       queue for more than [starvation_bound] ns without being dispatched;
+    - {b gap} — no runnable latency-critical thread goes unscheduled for
+      more than [gap_bound] ns, measured from enqueue to the dispatch
+      stamp (unlike starvation, a queue pop alone does not clear it: the
+      thread must actually reach a core). The exact gap is checked at
+      each dispatch; threads never dispatched age out in the scan;
     - {b fifo} — each probed task queue pops in FIFO order, modulo
       [push_front] and lazy removal (the checker mirrors the queue
       discipline from push/pop/remove events alone);
@@ -30,6 +35,7 @@
 type config = {
   wakeup_bound : int;
   starvation_bound : int;
+  gap_bound : int;  (** enqueue -> dispatch, ns (the execution-gap bound) *)
   conservation_tol : float;
   max_violations : int;  (** details kept; the total is always counted *)
 }

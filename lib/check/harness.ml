@@ -10,21 +10,23 @@ module Probe = Vessel_obs.Probe
 
 module Cluster = Vessel_cluster.Cluster
 
-type scenario = Fig1_class | Fig9_class | Gate | Fleet_class
+type scenario = Fig1_class | Fig9_class | Gate | Fleet_class | Gaps
 
-let all_scenarios = [ Fig1_class; Fig9_class; Gate; Fleet_class ]
+let all_scenarios = [ Fig1_class; Fig9_class; Gate; Fleet_class; Gaps ]
 
 let scenario_name = function
   | Fig1_class -> "fig1"
   | Fig9_class -> "fig9"
   | Gate -> "gate"
   | Fleet_class -> "fleet"
+  | Gaps -> "gaps"
 
 let scenario_of_string = function
   | "fig1" -> Some Fig1_class
   | "fig9" -> Some Fig9_class
   | "gate" -> Some Gate
   | "fleet" -> Some Fleet_class
+  | "gaps" -> Some Gaps
   | _ -> None
 
 type verdict = {
@@ -67,6 +69,40 @@ let run_colocation ~kind ?vessel_params ~seed ~profile ~checker () =
       in
       b.E.Runner.sys.S.Sched_intf.start ();
       W.Openloop.start gen ~rate_rps ~until:colo_duration;
+      Sim.run_until b.E.Runner.sim colo_duration;
+      b.E.Runner.sys.S.Sched_intf.stop ());
+  Checker.finalize checker ~machine:b.E.Runner.machine ~elapsed:colo_duration;
+  Hw.Inject.injected (Hw.Machine.inject b.E.Runner.machine)
+
+(* The schedgaps colocation: sleep-then-spin tracer threads against
+   *bursty* memcached and a never-parking linpack, under VESSEL. The
+   burst duty cycle is what schedgaps found co-scheduling designs
+   mishandle; the gap invariant (enqueue -> dispatch) is the judge. *)
+let gaps_tracers = 2
+
+let run_gaps ?vessel_params ~seed ~profile ~checker () =
+  let b =
+    E.Runner.build ~seed ?vessel_params ~cores:colo_cores E.Runner.Vessel
+  in
+  Fault.install profile
+    ~rng:(Rng.split (Sim.rng b.E.Runner.sim))
+    b.E.Runner.machine;
+  let cap = float_of_int colo_cores /. W.Memcached.mean_service_ns *. 1e9 in
+  Probe.with_sink (Checker.sink checker) (fun () ->
+      let _tracer =
+        W.Gaptracer.make ~sim:b.E.Runner.sim ~sys:b.E.Runner.sys ~app_id:1
+          ~threads:gaps_tracers ~until:colo_duration ()
+      in
+      let gen =
+        W.Memcached.make ~sim:b.E.Runner.sim ~sys:b.E.Runner.sys ~app_id:10
+          ~workers:colo_cores ()
+      in
+      let _lp =
+        W.Linpack.make ~sys:b.E.Runner.sys ~app_id:11 ~workers:colo_cores ()
+      in
+      b.E.Runner.sys.S.Sched_intf.start ();
+      W.Openloop.start_bursty gen ~base_rps:(0.25 *. cap) ~burst_rps:cap
+        ~burst_len:30_000 ~period:300_000 ~until:colo_duration;
       Sim.run_until b.E.Runner.sim colo_duration;
       b.E.Runner.sys.S.Sched_intf.stop ());
   Checker.finalize checker ~machine:b.E.Runner.machine ~elapsed:colo_duration;
@@ -185,7 +221,7 @@ let run_one ?vessel_params ?config ~seed ~profile ~scenario () =
   | Fleet_class ->
       let faults, checkers = run_fleet ?config ~seed ~profile () in
       verdict_of ~seed ~profile ~scenario ~faults checkers
-  | Fig1_class | Fig9_class | Gate ->
+  | Fig1_class | Fig9_class | Gate | Gaps ->
       let checker = Checker.create ?config () in
       let faults =
         match scenario with
@@ -195,6 +231,7 @@ let run_one ?vessel_params ?config ~seed ~profile ~scenario () =
             run_colocation ~kind:E.Runner.Vessel ?vessel_params ~seed ~profile
               ~checker ()
         | Gate -> run_gate ~seed ~profile ~checker ()
+        | Gaps -> run_gaps ?vessel_params ~seed ~profile ~checker ()
         | Fleet_class -> assert false
       in
       verdict_of ~seed ~profile ~scenario ~faults [| checker |]

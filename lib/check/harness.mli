@@ -14,6 +14,11 @@ type scenario =
           {!Vessel_cluster.Cluster}, faults on every backend, one checker
           per machine (causality + all per-machine invariants); the
           verdict merges all machines *)
+  | Gaps
+      (** schedgaps colocation under VESSEL: sleep-then-spin
+          {!Vessel_workloads.Gaptracer} threads against bursty memcached
+          and a never-parking linpack — the execution-gap invariant's
+          home scenario *)
 
 val all_scenarios : scenario list
 val scenario_name : scenario -> string
@@ -38,7 +43,8 @@ val run_one :
   unit ->
   verdict
 (** One scenario under one profile. [vessel_params] deliberately weakens
-    the VESSEL scheduler in regression tests (Fig9-class only). *)
+    the VESSEL scheduler in regression tests (Fig9-class and Gaps
+    scenarios only). *)
 
 val run_sweep :
   ?vessel_params:Vessel_sched.Vessel.params ->

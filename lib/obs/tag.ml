@@ -59,6 +59,11 @@ let req_complete = "req.complete"
 let req_done = "req.done"
 let req_flow = "req"
 
+(* execution-gap tracer (schedgaps-style inner/outer gaps) *)
+let gap_window = "gap.window"
+let gap_inner = "gap.inner"
+let gap_outer = "gap.outer"
+
 (* cluster (lockstep sync + cross-machine delivery; causality checking) *)
 let cluster_epoch = "cluster.epoch"
 let cluster_deliver = "cluster.deliver"

@@ -320,7 +320,21 @@ let on_run t ~core th =
     (* A cross-application landing starts a fresh ownership stint. *)
     if t.last_app.(core) <> Some (U.Uthread.app th) then
       t.stint_start.(core) <- now t;
-    t.last_app.(core) <- Some (U.Uthread.app th)
+    t.last_app.(core) <- Some (U.Uthread.app th);
+    (* The dispatch stamp the gap/starvation checker pairs with
+       queue.push: no PKRU here — kernel threading has no protection-key
+       switch — and the checker tolerates its absence. *)
+    if !Probe.on then
+      Probe.instant ~ts:(now t)
+        ~track:(Vessel_obs.Track.Core core)
+        ~name:Tag.dispatch
+        ~args:
+          [
+            ("tid", Vessel_obs.Event.Int (U.Uthread.tid th));
+            ("app", Vessel_obs.Event.Int (U.Uthread.app th));
+            ("rid", Vessel_obs.Event.Int (Vessel_obs.Request.rid (U.Uthread.ctx th)));
+          ]
+        ()
   end
 
 let on_preempted t ~core:_ th =

@@ -111,6 +111,20 @@ let on_run t ~core th =
   let ts = tstate t th in
   cs.current <- Some ts;
   cs.started <- now t;
+  (* The dispatch stamp the gap/starvation checker pairs with
+     queue.push; CFS has no PKRU and the checker tolerates its
+     absence. *)
+  if !Vessel_obs.Probe.on then
+    Vessel_obs.Probe.instant ~ts:(now t)
+      ~track:(Vessel_obs.Track.Core core)
+      ~name:Vessel_obs.Tag.dispatch
+      ~args:
+        [
+          ("tid", Vessel_obs.Event.Int (U.Uthread.tid th));
+          ("app", Vessel_obs.Event.Int (U.Uthread.app th));
+          ("rid", Vessel_obs.Event.Int (Vessel_obs.Request.rid (U.Uthread.ctx th)));
+        ]
+      ();
   arm_timer t ~core
 
 let on_descheduled t ~core th =

@@ -14,18 +14,19 @@ The `list` subcommand names every experiment, one per line:
   ablation   Ablations: switch-cost sweep, mechanism vs policy
   check      Fault-injection sweep with runtime invariant checking
   burst      Burst absorption under us-scale load spikes
+  gaps       Execution gaps & fairness under bursty colocation
   fleet      Fleet: machines under one clock behind a load balancer
   all        Every table and figure
   
   Every experiment also accepts --trace FILE, --metrics FILE and --attrib FILE.
 
   $ vessel-sim --version
-  1.4.0
+  1.5.0
 
 Unknown experiments exit 2:
 
   $ vessel-sim nosuch
-  vessel-sim: unknown command 'nosuch', must be one of 'ablation', 'all', 'burst', 'check', 'fig1', 'fig10', 'fig11', 'fig12', 'fig13a', 'fig13b', 'fig2', 'fig3', 'fig9', 'fleet', 'list' or 'table1'.
+  vessel-sim: unknown command 'nosuch', must be one of 'ablation', 'all', 'burst', 'check', 'fig1', 'fig10', 'fig11', 'fig12', 'fig13a', 'fig13b', 'fig2', 'fig3', 'fig9', 'fleet', 'gaps', 'list' or 'table1'.
   Usage: vessel-sim COMMAND …
   Try 'vessel-sim --help' for more information.
   [2]
@@ -60,4 +61,28 @@ An unwritable --attrib path exits 2 (same contract as --trace):
 
   $ vessel-sim list --attrib /nonexistent/dir/attrib.json > /dev/null
   vessel-sim: /nonexistent/dir/attrib.json: No such file or directory
+  [2]
+
+The gaps experiment documents itself:
+
+  $ vessel-sim gaps --help=plain | head -4
+  NAME
+         vessel-sim-gaps - Execution gaps & fairness under bursty colocation
+  
+  SYNOPSIS
+
+
+A tiny gaps run ends in the standing verdict line (deterministic, so
+this is byte-stable at any -j):
+
+  $ vessel-sim gaps --schedulers vessel --duties 0.2 --duration-ms 3 --cores 2 --seed 1 -j 1 | tail -1
+  gaps: 1 points, 1 gated, worst gated gap 12.2 us, ok (bound 5.0 ms)
+
+An unknown scheduler id exits 2:
+
+  $ vessel-sim gaps --schedulers nosuch --duration-ms 1
+  vessel-sim: option '--schedulers': invalid element in list ('nosuch'):
+              unknown scheduler "nosuch"
+  Usage: vessel-sim gaps [OPTION]…
+  Try 'vessel-sim gaps --help' or 'vessel-sim --help' for more information.
   [2]

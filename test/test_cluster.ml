@@ -230,6 +230,39 @@ let test_rolling_restart_no_drops () =
         (W.Frontend.served_by fe i > 0))
     [ 0; 1; 2 ]
 
+let test_drain_window_boundaries () =
+  (* A restart's drain window, observed at its exact boundaries: the
+     instant a backend goes down its dispatch counter freezes, its
+     in-flight requests drain to zero well before it returns, and the
+     rest of the fleet keeps serving throughout the window. *)
+  let cluster, builds, fe = build_fleet ~policy:W.Frontend.Round_robin ~seed:7 () in
+  let fe_sim = Cluster.sim cluster 0 in
+  let at_down = ref (-1, -1) and at_up = ref (-1, -1, -1) in
+  ignore
+    (Sim.schedule fe_sim ~at:500_000 (fun _ ->
+         W.Frontend.set_backend_up fe 1 false;
+         at_down := (W.Frontend.dispatched fe 1, W.Frontend.served fe)));
+  ignore
+    (Sim.schedule fe_sim ~at:1_200_000 (fun _ ->
+         at_up :=
+           ( W.Frontend.dispatched fe 1,
+             W.Frontend.inflight fe 1,
+             W.Frontend.served fe );
+         W.Frontend.set_backend_up fe 1 true));
+  List.iter (fun (_, b) -> b.E.Runner.sys.S.Sched_intf.start ()) builds;
+  W.Frontend.start fe ~rate_rps:fleet_rate ~until:fleet_horizon;
+  Cluster.run_until cluster fleet_horizon;
+  List.iter (fun (_, b) -> b.E.Runner.sys.S.Sched_intf.stop ()) builds;
+  let down_dispatched, down_served = !at_down in
+  let up_dispatched, up_inflight, up_served = !at_up in
+  check_bool "traffic hit backend 1 before the window" true (down_dispatched > 0);
+  check_int "no dispatches while down" down_dispatched up_dispatched;
+  check_int "inflight drained to zero by end of window" 0 up_inflight;
+  check_bool "fleet progressed during the window" true (up_served > down_served);
+  check_bool "backend 1 resumed after the window" true
+    (W.Frontend.dispatched fe 1 > down_dispatched);
+  check_int "nothing dropped across the roll" 0 (W.Frontend.dropped fe)
+
 let test_consistent_hash_deterministic () =
   let run () =
     let cluster, builds, fe =
@@ -349,6 +382,8 @@ let suite =
         Alcotest.test_case "all down drops" `Quick test_all_down_drops;
         Alcotest.test_case "rolling restart" `Quick
           test_rolling_restart_no_drops;
+        Alcotest.test_case "drain window boundaries" `Quick
+          test_drain_window_boundaries;
         Alcotest.test_case "consistent hash deterministic" `Quick
           test_consistent_hash_deterministic;
       ] );

@@ -1,4 +1,4 @@
 let () =
   Alcotest.run "vessel"
     (List.concat
-       [ Test_engine.suite; Test_pool.suite; Test_stats.suite; Test_hw.suite; Test_mem.suite; Test_uprocess.suite; Test_sched.suite; Test_workloads.suite; Test_experiments.suite; Test_invariants.suite; Test_domains.suite; Test_integration.suite; Test_obs.suite; Test_attrib.suite; Test_check.suite; Test_cluster.suite ])
+       [ Test_engine.suite; Test_pool.suite; Test_stats.suite; Test_hw.suite; Test_mem.suite; Test_uprocess.suite; Test_sched.suite; Test_workloads.suite; Test_experiments.suite; Test_invariants.suite; Test_domains.suite; Test_integration.suite; Test_obs.suite; Test_attrib.suite; Test_check.suite; Test_cluster.suite; Test_gaps.suite ])

@@ -15,6 +15,46 @@ let test_hist_empty () =
   check_int "p99" 0 (Histogram.percentile h 99.);
   Alcotest.(check (float 0.)) "mean" 0. (Histogram.mean h)
 
+let test_hist_empty_percentile_edges () =
+  let h = Histogram.create () in
+  (* Every in-range p on an empty histogram reports 0 rather than
+     raising — callers print percentiles unconditionally. *)
+  check_int "p50 empty" 0 (Histogram.percentile h 50.);
+  check_int "p100 empty" 0 (Histogram.percentile h 100.);
+  Alcotest.check_raises "p0 rejected"
+    (Invalid_argument "Histogram.percentile: p must be in (0, 100]")
+    (fun () -> ignore (Histogram.percentile h 0.));
+  Alcotest.check_raises "p>100 rejected"
+    (Invalid_argument "Histogram.percentile: p must be in (0, 100]")
+    (fun () -> ignore (Histogram.percentile h 100.5))
+
+let test_hist_single_sample () =
+  let h = Histogram.create ~precision:6 () in
+  Histogram.record h 7;
+  (* One sample below 2^precision: every percentile is that sample. *)
+  List.iter
+    (fun p -> check_int (Printf.sprintf "p%.1f" p) 7 (Histogram.percentile h p))
+    [ 0.001; 1.; 50.; 99.; 100. ];
+  check_int "min" 7 (Histogram.min h);
+  check_int "max" 7 (Histogram.max h)
+
+let test_hist_all_in_top_bucket () =
+  (* Samples at max_int all land in the last magnitude row. The bucket
+     floor undershoots by at most one sub-bucket width (1/64 relative)
+     and the max_v clamp keeps the report from overshooting. *)
+  let h = Histogram.create ~precision:6 () in
+  for _ = 1 to 5 do
+    Histogram.record h Stdlib.max_int
+  done;
+  check_int "count" 5 (Histogram.count h);
+  let p50 = Histogram.percentile h 50. in
+  let p100 = Histogram.percentile h 100. in
+  check_bool "p50 <= max_int" true (p50 <= Stdlib.max_int);
+  check_bool "p50 within 1/64 of max_int" true
+    (float_of_int p50 >= float_of_int Stdlib.max_int *. 63. /. 64.);
+  check_int "p100 = p50 (single occupied bucket)" p50 p100;
+  check_int "max exact" Stdlib.max_int (Histogram.max h)
+
 let test_hist_exact_small () =
   (* Values below 2^precision are stored exactly. *)
   let h = Histogram.create ~precision:6 () in
@@ -341,6 +381,10 @@ let suite =
     ( "stats.histogram",
       [
         Alcotest.test_case "empty" `Quick test_hist_empty;
+        Alcotest.test_case "empty percentile edges" `Quick
+          test_hist_empty_percentile_edges;
+        Alcotest.test_case "single sample" `Quick test_hist_single_sample;
+        Alcotest.test_case "all in top bucket" `Quick test_hist_all_in_top_bucket;
         Alcotest.test_case "exact small values" `Quick test_hist_exact_small;
         Alcotest.test_case "bounded relative error" `Quick
           test_hist_relative_error;
